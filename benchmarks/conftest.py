@@ -1,0 +1,27 @@
+"""Shared configuration for the pytest-benchmark suites.
+
+Each benchmark module regenerates one figure or table from the paper's
+evaluation (see DESIGN.md's experiment index).  The measured quantity is
+the wall-clock time of regenerating the experiment — the experiment's own
+*virtual-time* results (throughput, response time, watts) are attached to
+``benchmark.extra_info`` and printed so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach_rows(benchmark, title: str, rows) -> None:
+    """Record experiment rows in the benchmark's extra_info and print them."""
+    benchmark.extra_info["experiment"] = title
+    benchmark.extra_info["rows"] = rows
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print(row)
+
+
+@pytest.fixture
+def record_rows():
+    """Fixture exposing :func:`attach_rows` to benchmark tests."""
+    return attach_rows

@@ -1,0 +1,38 @@
+"""Benchmark: ablation over the orderer's block-cutting batch size.
+
+Sweeps ``MaxMessageCount`` at saturation with 64 KiB payloads on the
+desktop deployment.  Expected shape: very small blocks (one transaction
+per block) pay per-block validation/commit overhead, so moderate batch
+sizes sustain at least comparable throughput; response time grows with
+very large blocks because transactions wait longer for their block to
+fill.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablation_batch import run_batch_ablation
+
+BATCH_SIZES = (1, 10, 50, 100)
+
+
+def test_batch_size_ablation(benchmark, record_rows):
+    ablation = benchmark.pedantic(
+        lambda: run_batch_ablation(batch_sizes=BATCH_SIZES, requests=60),
+        iterations=1,
+        rounds=1,
+    )
+    rows = [
+        {
+            "max_message_count": size,
+            "throughput_tps": round(result.throughput_tps, 2),
+            "mean_response_s": round(result.mean_response_s, 4),
+        }
+        for size, result in zip(ablation.batch_sizes, ablation.results)
+    ]
+    record_rows(benchmark, "Ablation — orderer batch size (64 KiB payloads)", rows)
+
+    by_size = dict(zip(ablation.batch_sizes, ablation.results))
+    # Batching does not collapse throughput relative to single-tx blocks.
+    assert by_size[10].throughput_tps > 0.6 * by_size[1].throughput_tps
+    # Every configuration committed the full workload.
+    assert all(result.failed == 0 for result in ablation.results)

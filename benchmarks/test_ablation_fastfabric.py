@@ -1,0 +1,35 @@
+"""Benchmark: ablation of FastFabric-style parallel block validation.
+
+Toggles the parallel-validation optimization (after Gorenflo et al.,
+FastFabric, cited in the paper's related work) on the Raspberry Pi
+deployment and checks that spreading endorsement-signature verification
+over the Cortex-A53's four cores does not reduce — and typically improves —
+the sustainable StoreData throughput.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablation_fastfabric import run_fastfabric_ablation
+
+
+def test_parallel_validation_ablation(benchmark, record_rows):
+    ablation = benchmark.pedantic(
+        lambda: run_fastfabric_ablation(payload_bytes=1024, requests=40),
+        iterations=1,
+        rounds=1,
+    )
+    rows = [
+        {
+            "validation": mode,
+            "throughput_tps": round(result.throughput_tps, 2),
+            "mean_response_s": round(result.mean_response_s, 4),
+        }
+        for mode, result in ablation.results.items()
+    ]
+    rows.append({"validation": "speedup", "throughput_tps": round(ablation.speedup, 3),
+                 "mean_response_s": None})
+    record_rows(benchmark, "Ablation — FastFabric-style parallel validation (RPi)", rows)
+
+    assert ablation.results["sequential"].failed == 0
+    assert ablation.results["parallel"].failed == 0
+    assert ablation.speedup >= 0.98

@@ -1,0 +1,37 @@
+"""Benchmark: Fig. 1 — throughput and response time vs data size (desktop).
+
+Regenerates the desktop-setup sweep and asserts the figure's shape:
+throughput decreases monotonically (within tolerance) and response time
+increases as the data item size grows, because off-chain transfer and
+checksum computation dominate at large sizes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.fig1_throughput import run_fig1
+
+SIZES = (1024, 64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024)
+
+
+def test_fig1_desktop_throughput_response(benchmark, record_rows):
+    series = benchmark.pedantic(
+        lambda: run_fig1(sizes=SIZES, requests_per_size=40),
+        iterations=1,
+        rounds=1,
+    )
+    rows = [result.summary() for result in series.results]
+    record_rows(benchmark, "Fig. 1 — desktop StoreData sweep", rows)
+
+    throughputs = series.throughputs()
+    responses = series.response_times()
+
+    # Shape: the largest items are clearly slower than the smallest.
+    assert throughputs[-1] < throughputs[0] * 0.8
+    assert responses[-1] > responses[0] * 1.2
+    # Monotone within a small tolerance for simulation jitter.
+    for previous, current in zip(throughputs, throughputs[1:]):
+        assert current <= previous * 1.05
+    for previous, current in zip(responses, responses[1:]):
+        assert current >= previous * 0.95
+    # Every request committed.
+    assert all(result.failed == 0 for result in series.results)

@@ -1,0 +1,53 @@
+"""Benchmark: Fig. 2 — throughput and response time vs data size (Raspberry Pi).
+
+Same sweep as Fig. 1 on the RPi 3B+ deployment.  Asserts the paper's two
+observations: the trend matches the desktop figure, and absolute
+performance is substantially lower on the constrained ARM hardware.
+"""
+
+from __future__ import annotations
+
+from repro.bench.fig1_throughput import run_fig1
+from repro.bench.fig2_rpi import run_fig2
+
+SIZES = (1024, 64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024)
+
+
+def test_fig2_rpi_throughput_response(benchmark, record_rows):
+    series = benchmark.pedantic(
+        lambda: run_fig2(sizes=SIZES, requests_per_size=25),
+        iterations=1,
+        rounds=1,
+    )
+    rows = [result.summary() for result in series.results]
+    record_rows(benchmark, "Fig. 2 — RPi StoreData sweep", rows)
+
+    throughputs = series.throughputs()
+    responses = series.response_times()
+    assert throughputs[-1] < throughputs[0]
+    assert responses[-1] > responses[0]
+    assert all(result.failed == 0 for result in series.results)
+
+
+def test_fig2_rpi_is_slower_than_desktop(benchmark, record_rows):
+    """Cross-setup comparison: RPi throughput is a fraction of desktop's."""
+    sizes = (1024, 1024 * 1024)
+
+    def run_both():
+        return run_fig1(sizes=sizes, requests_per_size=20), run_fig2(
+            sizes=sizes, requests_per_size=20
+        )
+
+    desktop, rpi = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    rows = [
+        {
+            "size_bytes": d.config.data_size_bytes,
+            "desktop_tps": d.throughput_tps,
+            "rpi_tps": r.throughput_tps,
+            "slowdown": d.throughput_tps / max(r.throughput_tps, 1e-9),
+        }
+        for d, r in zip(desktop.results, rpi.results)
+    ]
+    record_rows(benchmark, "Fig. 1 vs Fig. 2 — desktop/RPi slowdown", rows)
+    for row in rows:
+        assert row["slowdown"] > 3.0

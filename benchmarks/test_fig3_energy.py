@@ -1,0 +1,56 @@
+"""Benchmark: Fig. 3 — RPi energy consumption over 10-minute intervals.
+
+Regenerates the load-level series and asserts the paper's calibration
+points: an idle RPi with HLF running draws about 2.71 W (barely above the
+idle OS), the peak-load mean stays within a modest fraction of idle
+(paper: +10.7 %), and the maximum observed draw stays near 3.64 W.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.fig3_energy import run_fig3
+
+LOAD_LEVELS = {
+    "idle (no HLF)": 0.0,
+    "idle (HLF running)": 0.0,
+    "low load": 0.5,
+    "medium load": 2.0,
+    "peak load": 5.0,
+}
+
+
+def test_fig3_rpi_energy_intervals(benchmark, record_rows):
+    figure = benchmark.pedantic(
+        lambda: run_fig3(load_levels=LOAD_LEVELS, interval_s=600.0),
+        iterations=1,
+        rounds=1,
+    )
+    rows = [
+        {
+            "interval": report.label,
+            "mean_w": round(report.mean_watts, 3),
+            "max_w": round(report.max_watts, 3),
+            "energy_wh": round(report.energy_wh, 4),
+        }
+        for report in figure.intervals
+    ]
+    record_rows(benchmark, "Fig. 3 — RPi power per 10-minute interval", rows)
+
+    idle_no_hlf = figure.report_for("idle (no HLF)")
+    idle_hlf = figure.report_for("idle (HLF running)")
+    peak = figure.report_for("peak load")
+
+    # Paper: idle-with-HLF is 2.71 W, barely above the idle OS.
+    assert idle_hlf.mean_watts == pytest.approx(2.71, abs=0.1)
+    assert idle_hlf.mean_watts - idle_no_hlf.mean_watts < 0.2
+
+    # Paper: peak load is only ~10.7 % above idle on average; max 3.64 W.
+    increase = (peak.mean_watts - idle_no_hlf.mean_watts) / idle_no_hlf.mean_watts
+    assert 0.02 < increase < 0.35
+    assert peak.max_watts < 3.9
+
+    # Power rises monotonically with load level.
+    means = [report.mean_watts for report in figure.intervals]
+    assert means == sorted(means)

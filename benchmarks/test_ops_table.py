@@ -1,0 +1,39 @@
+"""Benchmark: per-operator latency table (technical-report style).
+
+Measures each client operator (post, get, get_key_history, check_hash,
+store_data, get_data, get_dependencies) on both setups with 1 KiB
+payloads, mirroring the operator breakdown in the companion technical
+report.  Asserts the expected ordering: reads are cheaper than writes, and
+every operator is slower on the RPi than on the desktop machines.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ops_table import run_ops_table
+
+
+def test_operator_latency_table(benchmark, record_rows):
+    desktop, rpi = benchmark.pedantic(
+        lambda: run_ops_table(payload_bytes=1024, repeats=5),
+        iterations=1,
+        rounds=1,
+    )
+    rows = [
+        {
+            "operator": operator,
+            "desktop_s": round(desktop.latencies_s[operator], 5),
+            "rpi_s": round(rpi.latencies_s[operator], 5),
+        }
+        for operator in sorted(desktop.latencies_s)
+    ]
+    record_rows(benchmark, "Client operator latencies (1 KiB payloads)", rows)
+
+    for operator, desktop_latency in desktop.latencies_s.items():
+        assert desktop_latency > 0
+        assert rpi.latencies_s[operator] > desktop_latency, operator
+
+    # Reads (served by one peer, no ordering) are much cheaper than writes
+    # (endorsement + ordering + commit) on both setups.
+    for setup in (desktop, rpi):
+        assert setup.latencies_s["get"] < setup.latencies_s["post"]
+        assert setup.latencies_s["check_hash"] < setup.latencies_s["store_data"]

@@ -1,0 +1,58 @@
+"""Benchmark: per-node resource consumption under the StoreData workload.
+
+Covers the "resource consumption" axis of the paper's evaluation: the RPi
+devices run at a much higher relative CPU utilization than the desktops to
+sustain their (lower) throughput, and the node co-hosting the peer and the
+client is the busiest machine in both setups.
+"""
+
+from __future__ import annotations
+
+from repro.bench.resource_usage import run_resource_usage
+
+
+def test_resource_usage_per_node(benchmark, record_rows):
+    reports = benchmark.pedantic(
+        lambda: run_resource_usage(payload_bytes=256 * 1024, requests=40),
+        iterations=1,
+        rounds=1,
+    )
+    rows = []
+    for setup, report in reports.items():
+        for usage in report.nodes:
+            rows.append(
+                {
+                    "setup": setup,
+                    "node": usage.node,
+                    "role": usage.role,
+                    "cpu_util": round(usage.cpu_utilization, 4),
+                    "bytes_sent": usage.bytes_sent,
+                }
+            )
+    record_rows(benchmark, "Resource consumption per node (256 KiB payloads)", rows)
+
+    desktop, rpi = reports["desktop"], reports["rpi"]
+    # The desktop setup sustains far higher throughput...
+    assert desktop.throughput_tps > 3 * rpi.throughput_tps
+
+    # ...while every committed transaction costs the RPi peers far more CPU
+    # time than it costs the desktop peers (limited hardware capacity).
+    def peer_cpu_seconds_per_tx(report, committed=40):
+        return max(
+            u.cpu_core_seconds for u in report.nodes if "peer" in u.role
+        ) / committed
+
+    assert peer_cpu_seconds_per_tx(rpi) > 3 * peer_cpu_seconds_per_tx(desktop)
+
+    # The peer co-hosting the client burns the most CPU time in both setups.
+    for report in reports.values():
+        co_hosted = next(u for u in report.nodes if u.role == "peer+client")
+        other_peers = [u for u in report.nodes if u.role == "peer"]
+        assert co_hosted.cpu_core_seconds >= max(u.cpu_core_seconds for u in other_peers)
+
+    # The client host dominates outbound traffic (it uploads every payload
+    # to the off-chain storage node and every proposal to the peers).
+    for report in reports.values():
+        co_hosted = next(u for u in report.nodes if u.role == "peer+client")
+        assert co_hosted.bytes_sent > 0
+        assert co_hosted.bytes_sent == max(u.bytes_sent for u in report.nodes)

@@ -1,0 +1,45 @@
+"""HyperProv reproduction: decentralized resilient data provenance at the edge.
+
+The package is organized bottom-up:
+
+* substrates — :mod:`repro.simulation`, :mod:`repro.crypto`,
+  :mod:`repro.membership`, :mod:`repro.network`, :mod:`repro.ledger`,
+  :mod:`repro.consensus`, :mod:`repro.fabric`, :mod:`repro.chaincode`,
+  :mod:`repro.storage`, :mod:`repro.devices`, :mod:`repro.energy`,
+* the paper's contribution — :mod:`repro.core` (client library and
+  deployments) and :mod:`repro.provenance` (OPM lineage),
+* evaluation — :mod:`repro.workloads`, :mod:`repro.baselines`,
+  :mod:`repro.bench`.
+
+Quickstart::
+
+    from repro.core import build_desktop_deployment
+
+    deployment = build_desktop_deployment()
+    client = deployment.client
+    post = client.store_data("sensors/s1/r1", b"21.5 C")
+    deployment.drain()
+    record = client.get("sensors/s1/r1").payload
+    assert record.checksum == post.record.checksum
+"""
+
+from repro.core import (
+    HyperProvClient,
+    HyperProvDeployment,
+    build_deployment,
+    build_desktop_deployment,
+    build_rpi_deployment,
+)
+from repro.chaincode.records import ProvenanceRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HyperProvClient",
+    "HyperProvDeployment",
+    "build_deployment",
+    "build_desktop_deployment",
+    "build_rpi_deployment",
+    "ProvenanceRecord",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.bench fig1 fig3 ...``."""
+
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

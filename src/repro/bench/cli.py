@@ -1,0 +1,118 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.bench import (
+    run_baseline_comparison,
+    run_batch_ablation,
+    run_consensus_ablation,
+    run_fastfabric_ablation,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_ops_table,
+    run_resource_usage,
+)
+from repro.bench.ops_table import to_table as ops_to_table
+
+
+def _run_fig1(args: argparse.Namespace) -> str:
+    series = run_fig1(requests_per_size=args.requests)
+    table = series.to_table("Fig. 1 — desktop: throughput and response time vs data size")
+    return table.render()
+
+
+def _run_fig2(args: argparse.Namespace) -> str:
+    series = run_fig2(requests_per_size=args.requests)
+    table = series.to_table("Fig. 2 — RPi: throughput and response time vs data size")
+    return table.render()
+
+
+def _run_fig3(args: argparse.Namespace) -> str:
+    figure = run_fig3(interval_s=args.interval)
+    return figure.to_table().render()
+
+
+def _run_ops(args: argparse.Namespace) -> str:
+    results = run_ops_table(repeats=max(2, args.requests // 10))
+    return ops_to_table(results).render()
+
+
+def _run_baselines(args: argparse.Namespace) -> str:
+    report = run_baseline_comparison(requests=args.requests)
+    return report.to_table().render()
+
+
+def _run_batch(args: argparse.Namespace) -> str:
+    return run_batch_ablation(requests=args.requests).to_table().render()
+
+
+def _run_consensus(args: argparse.Namespace) -> str:
+    return run_consensus_ablation(requests=args.requests).to_table().render()
+
+
+def _run_fastfabric(args: argparse.Namespace) -> str:
+    ablation = run_fastfabric_ablation(requests=args.requests)
+    table = ablation.to_table()
+    table.add_note(f"throughput speedup from parallel validation: {ablation.speedup:.2f}x")
+    return table.render()
+
+
+def _run_resources(args: argparse.Namespace) -> str:
+    reports = run_resource_usage(requests=args.requests)
+    return "\n\n".join(report.to_table().render() for report in reports.values())
+
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig1": _run_fig1,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "ops": _run_ops,
+    "baselines": _run_baselines,
+    "ablation-batch": _run_batch,
+    "ablation-consensus": _run_consensus,
+    "ablation-fastfabric": _run_fastfabric,
+    "resources": _run_resources,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hyperprov-bench",
+        description="Regenerate the paper's figures and tables on the simulated testbeds.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment(s) to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=20,
+        help="requests per measurement point (default: 20)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=600.0,
+        help="energy measurement interval in virtual seconds (default: 600)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the selected experiments and print their tables."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    selected = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    outputs = []
+    for name in selected:
+        outputs.append(EXPERIMENTS[name](args))
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

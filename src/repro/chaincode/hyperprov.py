@@ -1,0 +1,283 @@
+"""The HyperProv chaincode.
+
+Implements the operator set of the paper's Go chaincode on the Python
+shim.  Functions (dispatched by ``stub.function``):
+
+``set``
+    Record a new version of a data item: checksum, off-chain location,
+    creator certificate, dependency list and custom metadata.
+``get``
+    Return the latest provenance record for a key.
+``getkeyhistory``
+    Return every recorded version of a key (operation history), via the
+    peer's history index — HyperProv's "lightweight retrieval of
+    provenance data".
+``checkhash``
+    Verify a supplied checksum against the latest on-chain record.
+``getbyrange``
+    Range query over keys (used by dashboards / audits).
+``getdependencies``
+    Return the dependency list of the latest record for a key.
+``query``
+    Rich selector query: return every record whose fields match a JSON
+    selector (e.g. ``{"creator": "camera-gw"}``), the CouchDB-style query
+    HLF offers when the state database supports it.
+``delete``
+    Remove the key from the world state (history remains, as in Fabric).
+
+Updates are access-controlled: once a key exists, only clients from the
+organization that created it may record new versions or delete it, so one
+compromised consortium member cannot overwrite another member's provenance.
+Every successful ``set`` also emits a ``provenance_recorded`` chaincode
+event that client applications can subscribe to.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.chaincode.records import ProvenanceRecord
+from repro.chaincode.shim import Chaincode, ChaincodeResponse, ChaincodeStub
+from repro.common.errors import ValidationError
+
+
+class HyperProvChaincode(Chaincode):
+    """Chaincode storing and querying HyperProv provenance records."""
+
+    name = "hyperprov"
+
+    #: Functions that only read state (served by a single peer, no ordering).
+    QUERY_FUNCTIONS = frozenset(
+        {"get", "getkeyhistory", "checkhash", "getbyrange", "getdependencies", "query"}
+    )
+    #: Functions that write state (require endorsement + ordering + commit).
+    INVOKE_FUNCTIONS = frozenset({"set", "delete"})
+
+    #: Name of the chaincode event emitted on every successful ``set``.
+    RECORD_EVENT = "provenance_recorded"
+
+    # ------------------------------------------------------------------ init
+    def init(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """Instantiate the chaincode; writes a marker key for sanity checks."""
+        stub.put_state("__hyperprov_initialized__", "true")
+        return ChaincodeResponse.success("hyperprov chaincode instantiated")
+
+    # ---------------------------------------------------------------- invoke
+    def invoke(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        handlers = {
+            "set": self._set,
+            "get": self._get,
+            "getkeyhistory": self._get_key_history,
+            "checkhash": self._check_hash,
+            "getbyrange": self._get_by_range,
+            "getdependencies": self._get_dependencies,
+            "query": self._query,
+            "delete": self._delete,
+            "init": self.init,
+        }
+        handler = handlers.get(stub.function)
+        if handler is None:
+            return ChaincodeResponse.error(
+                f"unknown function {stub.function!r}; "
+                f"expected one of {sorted(handlers)}"
+            )
+        try:
+            return handler(stub)
+        except ValidationError as exc:
+            return ChaincodeResponse.error(str(exc))
+
+    # ------------------------------------------------------------- functions
+    def _set(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """``set(key, checksum, location, dependencies_json, metadata_json, size)``"""
+        if len(stub.args) < 3:
+            return ChaincodeResponse.error(
+                "set requires at least: key, checksum, location"
+            )
+        key = stub.args[0]
+        checksum = stub.args[1]
+        location = stub.args[2]
+        dependencies: List[str] = []
+        metadata = {}
+        size_bytes = 0
+        if len(stub.args) > 3 and stub.args[3]:
+            dependencies = json.loads(stub.args[3])
+        if len(stub.args) > 4 and stub.args[4]:
+            metadata = json.loads(stub.args[4])
+        if len(stub.args) > 5 and stub.args[5]:
+            size_bytes = int(stub.args[5])
+
+        creator = stub.get_creator()
+        if creator is None:
+            return ChaincodeResponse.error("set requires a creator certificate")
+
+        # Read the current version of the key (if any).  Besides letting the
+        # new record link back to its predecessor, the read makes concurrent
+        # updates of the same key MVCC-conflict at commit time, so exactly
+        # one writer wins per block — the history index never interleaves
+        # half-applied updates.
+        previous_raw = stub.get_state(key)
+        if previous_raw is not None:
+            previous = ProvenanceRecord.from_json(previous_raw)
+            if previous.organization and previous.organization != creator.organization:
+                return ChaincodeResponse.error(
+                    f"key {key!r} is owned by organization "
+                    f"{previous.organization!r}; {creator.organization!r} may not update it"
+                )
+            metadata = dict(metadata)
+            metadata.setdefault("previous_checksum", previous.checksum)
+
+        # Dependencies must already exist on chain — lineage cannot point at
+        # unrecorded items.  The reads also make the transaction conflict if
+        # a dependency is concurrently deleted.
+        for dependency in dependencies:
+            if stub.get_state(dependency) is None:
+                return ChaincodeResponse.error(
+                    f"dependency {dependency!r} is not recorded on the ledger"
+                )
+
+        record = ProvenanceRecord(
+            key=key,
+            checksum=checksum,
+            location=location,
+            creator=creator.subject,
+            organization=creator.organization,
+            certificate_fingerprint=creator.fingerprint,
+            dependencies=dependencies,
+            metadata=metadata,
+            timestamp=stub.get_tx_timestamp(),
+            size_bytes=size_bytes,
+        )
+        record.validate()
+        stub.put_state(key, record.to_json())
+        stub.set_event(
+            self.RECORD_EVENT,
+            json.dumps({"key": key, "checksum": checksum, "creator": creator.subject}),
+        )
+        return ChaincodeResponse.success(record.to_json())
+
+    def _get(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """``get(key)`` — the latest provenance record for a key."""
+        if not stub.args:
+            return ChaincodeResponse.error("get requires a key argument")
+        value = stub.get_state(stub.args[0])
+        if value is None:
+            return ChaincodeResponse.error(f"key {stub.args[0]!r} not found")
+        return ChaincodeResponse.success(value)
+
+    def _get_key_history(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """``getkeyhistory(key)`` — every committed version of a key."""
+        if not stub.args:
+            return ChaincodeResponse.error("getkeyhistory requires a key argument")
+        entries = stub.get_history_for_key(stub.args[0])
+        if not entries:
+            return ChaincodeResponse.error(f"no history for key {stub.args[0]!r}")
+        history = [
+            {
+                "tx_id": entry.tx_id,
+                "block": entry.block_number,
+                "timestamp": entry.timestamp,
+                "is_delete": entry.is_delete,
+                "value": entry.value,
+            }
+            for entry in entries
+        ]
+        return ChaincodeResponse.success(json.dumps(history))
+
+    def _check_hash(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """``checkhash(key, checksum)`` — verify data integrity against the chain."""
+        if len(stub.args) < 2:
+            return ChaincodeResponse.error("checkhash requires key and checksum")
+        value = stub.get_state(stub.args[0])
+        if value is None:
+            return ChaincodeResponse.error(f"key {stub.args[0]!r} not found")
+        record = ProvenanceRecord.from_json(value)
+        matches = record.matches_checksum(stub.args[1])
+        return ChaincodeResponse.success(json.dumps({"matches": matches}))
+
+    def _get_by_range(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """``getbyrange(start_key, end_key)`` — committed records in a key range."""
+        start_key = stub.args[0] if stub.args else ""
+        end_key = stub.args[1] if len(stub.args) > 1 else ""
+        results = stub.get_state_by_range(start_key, end_key)
+        payload = [{"key": key, "record": value} for key, value in results]
+        return ChaincodeResponse.success(json.dumps(payload))
+
+    def _get_dependencies(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """``getdependencies(key)`` — the dependency list of the latest record."""
+        if not stub.args:
+            return ChaincodeResponse.error("getdependencies requires a key argument")
+        value = stub.get_state(stub.args[0])
+        if value is None:
+            return ChaincodeResponse.error(f"key {stub.args[0]!r} not found")
+        record = ProvenanceRecord.from_json(value)
+        return ChaincodeResponse.success(json.dumps(record.dependencies))
+
+    def _query(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """``query(selector_json)`` — records whose fields match the selector.
+
+        The selector is a flat JSON object; a record matches when every
+        selector field equals the corresponding record field (``metadata.*``
+        selectors match inside the custom metadata map).  Mirrors the rich
+        queries HLF supports with a CouchDB state database.
+        """
+        if not stub.args or not stub.args[0]:
+            return ChaincodeResponse.error("query requires a JSON selector argument")
+        try:
+            selector = json.loads(stub.args[0])
+        except json.JSONDecodeError as exc:
+            return ChaincodeResponse.error(f"malformed selector: {exc}")
+        if not isinstance(selector, dict) or not selector:
+            return ChaincodeResponse.error("selector must be a non-empty JSON object")
+
+        matches = []
+        for key, value in stub.get_state_by_range("", ""):
+            if key.startswith("__"):
+                continue
+            try:
+                record = ProvenanceRecord.from_json(value)
+            except ValidationError:
+                continue
+            if self._matches(record, selector):
+                matches.append({"key": key, "record": value})
+        return ChaincodeResponse.success(json.dumps(matches))
+
+    @staticmethod
+    def _matches(record: ProvenanceRecord, selector: dict) -> bool:
+        """Whether ``record`` satisfies every field of ``selector``."""
+        for field, expected in selector.items():
+            if field.startswith("metadata."):
+                actual = record.metadata.get(field[len("metadata."):])
+            elif field == "dependencies":
+                actual = record.dependencies
+            else:
+                actual = getattr(record, field, None)
+            if field == "dependencies" and isinstance(expected, str):
+                if expected not in record.dependencies:
+                    return False
+                continue
+            if actual != expected:
+                return False
+        return True
+
+    def _delete(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """``delete(key)`` — remove the key from the world state.
+
+        Only the owning organization (the one that recorded the key) may
+        delete it.
+        """
+        if not stub.args:
+            return ChaincodeResponse.error("delete requires a key argument")
+        current_raw = stub.get_state(stub.args[0])
+        if current_raw is None:
+            return ChaincodeResponse.error(f"key {stub.args[0]!r} not found")
+        creator = stub.get_creator()
+        current = ProvenanceRecord.from_json(current_raw)
+        if creator is not None and current.organization and \
+                current.organization != creator.organization:
+            return ChaincodeResponse.error(
+                f"key {stub.args[0]!r} is owned by organization "
+                f"{current.organization!r}; {creator.organization!r} may not delete it"
+            )
+        stub.del_state(stub.args[0])
+        return ChaincodeResponse.success(json.dumps({"deleted": stub.args[0]}))

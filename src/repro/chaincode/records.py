@@ -1,0 +1,96 @@
+"""The HyperProv on-chain provenance record.
+
+The paper: "the core data currently stored in the blockchain is the
+checksum of every data item, the data location, a certificate pertaining
+to who stored the data, a list of other data items that were used to
+create an item, and a custom field for any additional metadata."
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import ValidationError
+
+
+@dataclass
+class ProvenanceRecord:
+    """One version of a data item's provenance metadata, as stored on chain."""
+
+    #: Logical name (ledger key) of the data item, e.g. ``sensor-42/reading``.
+    key: str
+    #: SHA-256 checksum of the data item's content.
+    checksum: str
+    #: Pointer into off-chain storage (``ssh://host/path`` style URI).
+    location: str
+    #: Subject name from the creator's certificate.
+    creator: str
+    #: The creator's organization (MSP id).
+    organization: str
+    #: Fingerprint of the creator's certificate as validated by the MSP.
+    certificate_fingerprint: str
+    #: Ledger keys of the data items this item was derived from.
+    dependencies: List[str] = field(default_factory=list)
+    #: Free-form, domain-specific metadata.
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    #: Transaction timestamp (virtual time) when this version was recorded.
+    timestamp: float = 0.0
+    #: Size of the referenced data item in bytes (informational).
+    size_bytes: int = 0
+
+    def validate(self) -> None:
+        """Basic schema validation before the record is written on chain."""
+        if not self.key:
+            raise ValidationError("provenance record requires a non-empty key")
+        if not self.checksum or len(self.checksum) != 64:
+            raise ValidationError("checksum must be a 64-character SHA-256 hex digest")
+        if not self.location:
+            raise ValidationError("provenance record requires a data location")
+        if not self.creator:
+            raise ValidationError("provenance record requires a creator")
+        if any(not dep for dep in self.dependencies):
+            raise ValidationError("dependency keys must be non-empty")
+
+    def to_json(self) -> str:
+        """Serialize to the JSON document stored as the ledger value."""
+        return json.dumps(
+            {
+                "key": self.key,
+                "checksum": self.checksum,
+                "location": self.location,
+                "creator": self.creator,
+                "organization": self.organization,
+                "certificate_fingerprint": self.certificate_fingerprint,
+                "dependencies": list(self.dependencies),
+                "metadata": self.metadata,
+                "timestamp": self.timestamp,
+                "size_bytes": self.size_bytes,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "ProvenanceRecord":
+        """Parse a ledger value back into a record."""
+        try:
+            data = json.loads(document)
+        except (TypeError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"malformed provenance record: {exc}") from exc
+        return cls(
+            key=data.get("key", ""),
+            checksum=data.get("checksum", ""),
+            location=data.get("location", ""),
+            creator=data.get("creator", ""),
+            organization=data.get("organization", ""),
+            certificate_fingerprint=data.get("certificate_fingerprint", ""),
+            dependencies=list(data.get("dependencies", [])),
+            metadata=dict(data.get("metadata", {})),
+            timestamp=float(data.get("timestamp", 0.0)),
+            size_bytes=int(data.get("size_bytes", 0)),
+        )
+
+    def matches_checksum(self, checksum: str) -> bool:
+        """Whether ``checksum`` equals this record's checksum."""
+        return bool(checksum) and checksum == self.checksum

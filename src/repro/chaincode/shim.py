@@ -1,0 +1,136 @@
+"""The chaincode shim: the interface chaincode uses to touch the ledger.
+
+During endorsement the peer *simulates* the invocation: reads go to the
+committed world state (and are recorded with their versions in the read
+set), writes are buffered into the write set and only become visible when
+the transaction commits.  The stub also exposes the submitting client's
+certificate (``get_creator``) and the key-history index, both of which the
+HyperProv chaincode relies on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ChaincodeError
+from repro.crypto.certificates import Certificate
+from repro.ledger.history import HistoryDatabase, HistoryEntry
+from repro.ledger.transaction import ReadWriteSet
+from repro.ledger.world_state import WorldState
+
+
+@dataclass
+class ChaincodeResponse:
+    """Result of a chaincode invocation."""
+
+    status: int
+    payload: Optional[str] = None
+    message: str = ""
+
+    OK = 200
+    ERROR = 500
+
+    @classmethod
+    def success(cls, payload: Optional[str] = None) -> "ChaincodeResponse":
+        return cls(status=cls.OK, payload=payload)
+
+    @classmethod
+    def error(cls, message: str) -> "ChaincodeResponse":
+        return cls(status=cls.ERROR, message=message)
+
+    @property
+    def is_ok(self) -> bool:
+        return self.status == self.OK
+
+
+@dataclass
+class ChaincodeStub:
+    """Per-invocation view of the ledger handed to the chaincode."""
+
+    tx_id: str
+    channel: str
+    function: str
+    args: List[str]
+    world_state: WorldState
+    history: HistoryDatabase
+    creator: Optional[Certificate] = None
+    timestamp: float = 0.0
+    rw_set: ReadWriteSet = field(default_factory=ReadWriteSet)
+    #: Number of shim calls made (used by the device model to charge time).
+    state_operations: int = 0
+    #: Chaincode event set by the invocation, as ``(name, payload)``.
+    event: Optional[Tuple[str, str]] = None
+    _pending_writes: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- state API
+    def get_state(self, key: str) -> Optional[str]:
+        """Read the latest committed value of ``key`` (read-your-own-writes
+        within the same invocation is supported, like Fabric's simulator)."""
+        self.state_operations += 1
+        if key in self._pending_writes:
+            return self._pending_writes[key]
+        entry = self.world_state.get(key)
+        self.rw_set.add_read(key, entry.version if entry else None)
+        return entry.value if entry else None
+
+    def put_state(self, key: str, value: str) -> None:
+        """Buffer a write; it is applied only if the transaction commits."""
+        if not key:
+            raise ChaincodeError("cannot put_state with an empty key")
+        self.state_operations += 1
+        self._pending_writes[key] = value
+        self.rw_set.add_write(key, value)
+
+    def del_state(self, key: str) -> None:
+        """Buffer a deletion of ``key``."""
+        self.state_operations += 1
+        self._pending_writes[key] = None
+        self.rw_set.add_write(key, None, is_delete=True)
+
+    def get_state_by_range(self, start_key: str, end_key: str) -> List[Tuple[str, str]]:
+        """Committed key range query (``end_key`` empty = to the end)."""
+        self.state_operations += 1
+        results = self.world_state.range_query(start_key, end_key)
+        for key, _value in results:
+            self.rw_set.add_read(key, self.world_state.get_version(key))
+        return results
+
+    def get_history_for_key(self, key: str) -> List[HistoryEntry]:
+        """Every committed modification of ``key``, oldest first."""
+        self.state_operations += 1
+        return self.history.history_for_key(key)
+
+    # ---------------------------------------------------------------- events
+    def set_event(self, name: str, payload: str = "") -> None:
+        """Attach a chaincode event to this invocation (at most one, like Fabric)."""
+        if not name:
+            raise ChaincodeError("chaincode event name cannot be empty")
+        self.event = (name, payload)
+
+    # --------------------------------------------------------------- context
+    def get_creator(self) -> Optional[Certificate]:
+        """The certificate of the client that submitted the proposal."""
+        return self.creator
+
+    def get_tx_timestamp(self) -> float:
+        return self.timestamp
+
+    def get_args(self) -> List[str]:
+        return [self.function] + list(self.args)
+
+
+class Chaincode(ABC):
+    """Base class for chaincode implementations."""
+
+    #: Name under which the chaincode is installed.
+    name: str = "chaincode"
+
+    @abstractmethod
+    def init(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """Called once when the chaincode is instantiated on a channel."""
+
+    @abstractmethod
+    def invoke(self, stub: ChaincodeStub) -> ChaincodeResponse:
+        """Dispatch an invocation; ``stub.function`` selects the operation."""

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the HyperProv reproduction.
+
+Every error raised by the library derives from :class:`HyperProvError` so
+applications can catch library failures with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class HyperProvError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(HyperProvError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ValidationError(HyperProvError):
+    """A transaction, block, or record failed validation."""
+
+
+class NotFoundError(HyperProvError):
+    """A requested key, block, node, or data item does not exist."""
+
+
+class DuplicateError(HyperProvError):
+    """An entity with the same identifier already exists."""
+
+
+class EndorsementError(HyperProvError):
+    """A transaction proposal failed to gather the required endorsements."""
+
+
+class OrderingError(HyperProvError):
+    """The ordering service rejected or failed to order a transaction."""
+
+
+class CommitError(ValidationError):
+    """A transaction was invalidated during the commit/validation phase."""
+
+    def __init__(self, message: str, code: str = "GENERIC") -> None:
+        super().__init__(message)
+        #: Machine readable validation code (mirrors Fabric's TxValidationCode).
+        self.code = code
+
+
+class MVCCConflictError(CommitError):
+    """The transaction's read set conflicts with a newer committed version."""
+
+    def __init__(self, key: str, expected_version: object, found_version: object) -> None:
+        super().__init__(
+            f"MVCC conflict on key {key!r}: read version {expected_version}, "
+            f"committed version is {found_version}",
+            code="MVCC_READ_CONFLICT",
+        )
+        self.key = key
+        self.expected_version = expected_version
+        self.found_version = found_version
+
+
+class StorageError(HyperProvError):
+    """Off-chain storage failed (missing item, checksum mismatch, I/O)."""
+
+
+class ChecksumMismatchError(StorageError):
+    """Retrieved data does not match the checksum recorded on-chain."""
+
+    def __init__(self, expected: str, actual: str) -> None:
+        super().__init__(f"checksum mismatch: expected {expected}, got {actual}")
+        self.expected = expected
+        self.actual = actual
+
+
+class NetworkError(HyperProvError):
+    """A message could not be delivered (partition, unknown node, timeout)."""
+
+
+class PartitionError(NetworkError):
+    """Source and destination are in different network partitions."""
+
+
+class CryptoError(HyperProvError):
+    """Signature verification or certificate validation failed."""
+
+
+class ChaincodeError(HyperProvError):
+    """Chaincode invocation raised an application-level error."""
+
+
+class SimulationError(HyperProvError):
+    """The discrete-event simulation engine was used incorrectly."""

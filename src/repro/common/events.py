@@ -1,0 +1,83 @@
+"""A tiny synchronous publish/subscribe event bus.
+
+Fabric exposes block and chaincode events to client applications through
+the *event hub*; peers, the client library and the metrics layer all use
+this bus so that benchmark harnesses can observe commits without polling.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+EventHandler = Callable[[str, Any], None]
+
+
+@dataclass
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; use it to unsubscribe."""
+
+    topic: str
+    handler: EventHandler
+    bus: "EventBus" = field(repr=False)
+    active: bool = True
+
+    def cancel(self) -> None:
+        """Stop receiving events for this subscription."""
+        if self.active:
+            self.bus.unsubscribe(self)
+            self.active = False
+
+
+class EventBus:
+    """Synchronous topic-based event dispatcher.
+
+    Handlers run inline in the publisher's call stack which keeps the
+    discrete-event simulation deterministic (no hidden queues).
+    Exceptions raised by one handler are collected and re-raised after all
+    handlers ran, so one misbehaving observer cannot silently swallow an
+    event for the others.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[Subscription]] = defaultdict(list)
+        self._published: int = 0
+
+    @property
+    def published_count(self) -> int:
+        """Total number of events published on this bus."""
+        return self._published
+
+    def subscribe(self, topic: str, handler: EventHandler) -> Subscription:
+        """Register ``handler`` for ``topic`` and return a cancellable handle."""
+        subscription = Subscription(topic=topic, handler=handler, bus=self)
+        self._handlers[topic].append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove a previously registered subscription (idempotent)."""
+        handlers = self._handlers.get(subscription.topic, [])
+        if subscription in handlers:
+            handlers.remove(subscription)
+
+    def publish(self, topic: str, payload: Any = None) -> int:
+        """Publish ``payload`` on ``topic``; returns number of handlers invoked."""
+        self._published += 1
+        errors: List[Exception] = []
+        delivered = 0
+        for subscription in list(self._handlers.get(topic, [])):
+            if not subscription.active:
+                continue
+            try:
+                subscription.handler(topic, payload)
+                delivered += 1
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        return delivered
+
+    def topics(self) -> List[str]:
+        """Topics that currently have at least one subscriber."""
+        return sorted(topic for topic, subs in self._handlers.items() if subs)

@@ -1,0 +1,59 @@
+"""Canonical serialization helpers.
+
+Signatures and checksums must be computed over a stable byte encoding, so
+all structures destined for hashing or signing go through
+:func:`canonical_json` (sorted keys, no whitespace, UTF-8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+
+class _CanonicalEncoder(json.JSONEncoder):
+    """JSON encoder that understands dataclasses, bytes and sets."""
+
+    def default(self, o: Any) -> Any:  # noqa: D102 - documented by parent
+        if dataclasses.is_dataclass(o) and not isinstance(o, type):
+            return dataclasses.asdict(o)
+        if isinstance(o, (bytes, bytearray, memoryview)):
+            return {"__bytes__": bytes(o).hex()}
+        if isinstance(o, (set, frozenset)):
+            return sorted(o)
+        if hasattr(o, "to_dict"):
+            return o.to_dict()
+        return super().default(o)
+
+
+def canonical_json(obj: Any) -> bytes:
+    """Encode ``obj`` into deterministic JSON bytes.
+
+    Keys are sorted and separators are minimal so that logically equal
+    objects always serialize to identical bytes.
+    """
+    return json.dumps(
+        obj,
+        cls=_CanonicalEncoder,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    ).encode("utf-8")
+
+
+def _decode_bytes(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if set(obj.keys()) == {"__bytes__"}:
+            return bytes.fromhex(obj["__bytes__"])
+        return {key: _decode_bytes(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_decode_bytes(item) for item in obj]
+    return obj
+
+
+def from_canonical_json(data: bytes | str) -> Any:
+    """Decode bytes produced by :func:`canonical_json`."""
+    if isinstance(data, (bytes, bytearray)):
+        data = data.decode("utf-8")
+    return _decode_bytes(json.loads(data))

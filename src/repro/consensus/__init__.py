@@ -1,0 +1,24 @@
+"""Ordering services (consensus).
+
+Hyperledger Fabric v1.4 ships the Solo orderer and (from v1.4.1) Raft.
+The paper's testbeds run a single orderer (Solo); the Raft implementation
+here is used by the consensus ablation benchmark.  A Proof-of-Work engine
+is included solely for the ProvChain-style public-blockchain baseline.
+"""
+
+from repro.consensus.batching import BatchConfig, BlockCutter
+from repro.consensus.base import OrderingService
+from repro.consensus.solo import SoloOrderingService
+from repro.consensus.raft import RaftNode, RaftState, RaftOrderingService
+from repro.consensus.pow import ProofOfWorkEngine
+
+__all__ = [
+    "BatchConfig",
+    "BlockCutter",
+    "OrderingService",
+    "SoloOrderingService",
+    "RaftNode",
+    "RaftState",
+    "RaftOrderingService",
+    "ProofOfWorkEngine",
+]

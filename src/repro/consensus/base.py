@@ -1,0 +1,114 @@
+"""Common ordering-service machinery: batch → block assembly and delivery."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional
+
+from repro.common.errors import OrderingError
+from repro.common.metrics import MetricsRegistry
+from repro.consensus.batching import BatchConfig, BlockCutter
+from repro.ledger.block import Block
+from repro.ledger.blockchain import GENESIS_PREVIOUS_HASH
+from repro.ledger.transaction import Transaction
+from repro.simulation.engine import SimulationEngine
+
+BlockConsumer = Callable[[Block], None]
+
+
+class OrderingService(ABC):
+    """Base class for ordering services.
+
+    Subclasses implement :meth:`_order_batch`, which takes a cut batch and
+    must eventually call :meth:`_deliver_block` (immediately for Solo,
+    after replication for Raft).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine: SimulationEngine,
+        batch_config: Optional[BatchConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.engine = engine
+        self.batch_config = batch_config or BatchConfig()
+        self.cutter = BlockCutter(self.batch_config)
+        self.metrics = metrics or MetricsRegistry(f"orderer.{name}")
+        self._consumers: List[BlockConsumer] = []
+        self._next_block_number = 0
+        self._previous_hash = GENESIS_PREVIOUS_HASH
+        self._timeout_event = None
+        self.blocks_delivered = 0
+        self.transactions_ordered = 0
+
+    # ---------------------------------------------------------------- wiring
+    def register_consumer(self, consumer: BlockConsumer) -> None:
+        """Register a callback invoked with every newly ordered block."""
+        self._consumers.append(consumer)
+
+    # ---------------------------------------------------------------- intake
+    def submit(self, tx: Transaction) -> None:
+        """Submit a transaction for ordering."""
+        self.metrics.counter("submitted").inc()
+        batch = self.cutter.add(tx, now=self.engine.now)
+        if batch is not None:
+            self._order_batch(batch)
+        self._arm_timeout()
+
+    def _arm_timeout(self) -> None:
+        """(Re)arm the batch-timeout event for the currently pending batch."""
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        deadline = self.cutter.next_timeout_deadline()
+        if deadline is None:
+            return
+        self._timeout_event = self.engine.schedule_at(
+            deadline, self._on_timeout, label=f"{self.name}:batch-timeout"
+        )
+
+    def _on_timeout(self) -> None:
+        self._timeout_event = None
+        batch = self.cutter.check_timeout(now=self.engine.now)
+        if batch:
+            self._order_batch(batch)
+        self._arm_timeout()
+
+    def flush(self) -> None:
+        """Cut and order any pending transactions immediately."""
+        batch = self.cutter.flush()
+        if batch:
+            self._order_batch(batch)
+
+    # -------------------------------------------------------------- delivery
+    def _assemble_block(self, batch: List[Transaction]) -> Block:
+        block = Block.build(
+            number=self._next_block_number,
+            previous_hash=self._previous_hash,
+            transactions=batch,
+            timestamp=self.engine.now,
+            orderer=self.name,
+        )
+        self._next_block_number += 1
+        self._previous_hash = block.hash
+        return block
+
+    def _deliver_block(self, block: Block) -> None:
+        if not self._consumers:
+            raise OrderingError(
+                f"ordering service {self.name!r} has no registered block consumers"
+            )
+        self.blocks_delivered += 1
+        self.transactions_ordered += block.tx_count
+        self.metrics.counter("blocks").inc()
+        self.metrics.counter("ordered_txs").inc(block.tx_count)
+        self.metrics.histogram("block_size_txs").observe(block.tx_count)
+        for consumer in self._consumers:
+            consumer(block)
+
+    # -------------------------------------------------------------- abstract
+    @abstractmethod
+    def _order_batch(self, batch: List[Transaction]) -> None:
+        """Order one cut batch; must eventually deliver exactly one block."""

@@ -1,0 +1,395 @@
+"""The HyperProv client library.
+
+Wraps a :class:`~repro.fabric.network.FabricNetwork` and an off-chain
+storage backend behind the operator set described in the paper:
+
+================  ===========================================================
+Operator          Behaviour
+================  ===========================================================
+``init``          Sanity-check that the chaincode is instantiated and the
+                  client identity validates against the channel MSP.
+``post``          Record provenance metadata for data that is already stored
+                  somewhere (checksum + location + dependencies + metadata).
+``get``           Latest on-chain provenance record for a key.
+``get_key_history``  Every recorded version of a key (operation history).
+``check_hash``    Verify a checksum (or raw data) against the chain.
+``store_data``    Store the data off-chain *and* post its provenance record.
+``get_data``      Resolve the on-chain pointer, fetch the data off-chain and
+                  verify its checksum against the chain.
+``get_dependencies``  The dependency list of a key's latest record.
+``get_lineage``   Full OPM lineage report built from committed history.
+================  ===========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.chaincode.records import ProvenanceRecord
+from repro.common.errors import (
+    ChaincodeError,
+    ChecksumMismatchError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.common.hashing import checksum_of
+from repro.common.metrics import MetricsRegistry
+from repro.fabric.network import FabricNetwork
+from repro.fabric.proposal import TransactionHandle
+from repro.ledger.history import HistoryEntry
+from repro.provenance.graph import ProvenanceGraph
+from repro.provenance.queries import LineageQueryEngine, LineageReport
+from repro.storage.base import StorageReceipt
+from repro.storage.content import ContentAddressedStore
+from repro.storage.sshfs import SSHFSStorageBackend
+
+
+@dataclass
+class QueryResult:
+    """Outcome of a read-only operation."""
+
+    payload: Any
+    latency_s: float
+
+
+@dataclass
+class PostResult:
+    """Outcome of a provenance-recording operation."""
+
+    handle: TransactionHandle
+    record: ProvenanceRecord
+    storage_receipt: Optional[StorageReceipt] = None
+
+    @property
+    def total_latency_s(self) -> float:
+        """Storage + on-chain latency as observed by the caller."""
+        storage = self.storage_receipt.duration_s if self.storage_receipt else 0.0
+        chain = self.handle.latency_s if self.handle.is_complete else float("nan")
+        return storage + chain
+
+
+@dataclass
+class DataResult:
+    """Outcome of ``get_data``: record, bytes and verification status."""
+
+    record: ProvenanceRecord
+    data: bytes
+    verified: bool
+    latency_s: float
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+class HyperProvClient:
+    """High-level HyperProv API bound to one client identity."""
+
+    def __init__(
+        self,
+        network: FabricNetwork,
+        client_name: str,
+        storage: Optional[ContentAddressedStore] = None,
+        chaincode_name: str = "hyperprov",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.network = network
+        self.client_name = client_name
+        self.storage = storage
+        self.chaincode_name = chaincode_name
+        self.metrics = metrics or MetricsRegistry(f"client.{client_name}")
+        self._context = network.client_context(client_name)
+
+    # ------------------------------------------------------------------ init
+    def init(self) -> bool:
+        """Verify the channel is usable: chaincode instantiated, MSP accepts us."""
+        definition = self.network.channel.chaincodes.find(self.chaincode_name)
+        if definition is None:
+            raise ChaincodeError(
+                f"chaincode {self.chaincode_name!r} is not instantiated on "
+                f"channel {self.network.channel.name!r}"
+            )
+        self.network.channel.msp.require_valid_certificate(self._context.identity.certificate)
+        return True
+
+    # ------------------------------------------------------------------ post
+    def post(
+        self,
+        key: str,
+        checksum: str,
+        location: str,
+        dependencies: Optional[List[str]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        size_bytes: int = 0,
+        at_time: Optional[float] = None,
+    ) -> PostResult:
+        """Record provenance metadata for a data item already stored elsewhere."""
+        dependencies = dependencies or []
+        metadata = metadata or {}
+        args = [
+            key,
+            checksum,
+            location,
+            json.dumps(dependencies),
+            json.dumps(metadata, sort_keys=True),
+            str(size_bytes),
+        ]
+        handle = self.network.submit_transaction(
+            self.client_name,
+            self.chaincode_name,
+            "set",
+            args,
+            at_time=at_time,
+        )
+        record = ProvenanceRecord(
+            key=key,
+            checksum=checksum,
+            location=location,
+            creator=self._context.identity.name,
+            organization=self._context.identity.organization,
+            certificate_fingerprint=self._context.identity.certificate.fingerprint,
+            dependencies=list(dependencies),
+            metadata=dict(metadata),
+            size_bytes=size_bytes,
+        )
+        self.metrics.counter("post").inc()
+        return PostResult(handle=handle, record=record)
+
+    # ------------------------------------------------------------------- get
+    def get(self, key: str, at_time: Optional[float] = None) -> QueryResult:
+        """Latest provenance record for ``key``."""
+        response, latency = self.network.query(
+            self.client_name, self.chaincode_name, "get", [key], at_time=at_time
+        )
+        if not response.is_ok or response.payload is None:
+            raise NotFoundError(response.message or f"key {key!r} not found")
+        self.metrics.histogram("get_latency_s").observe(latency)
+        return QueryResult(payload=ProvenanceRecord.from_json(response.payload), latency_s=latency)
+
+    def get_key_history(self, key: str, at_time: Optional[float] = None) -> QueryResult:
+        """Every recorded version of ``key`` (oldest first)."""
+        response, latency = self.network.query(
+            self.client_name, self.chaincode_name, "getkeyhistory", [key], at_time=at_time
+        )
+        if not response.is_ok or response.payload is None:
+            raise NotFoundError(response.message or f"no history for key {key!r}")
+        entries = json.loads(response.payload)
+        records = []
+        for entry in entries:
+            if entry.get("is_delete") or not entry.get("value"):
+                records.append({"tx_id": entry["tx_id"], "deleted": True})
+            else:
+                records.append(
+                    {
+                        "tx_id": entry["tx_id"],
+                        "block": entry["block"],
+                        "record": ProvenanceRecord.from_json(entry["value"]),
+                    }
+                )
+        self.metrics.histogram("history_latency_s").observe(latency)
+        return QueryResult(payload=records, latency_s=latency)
+
+    def check_hash(
+        self,
+        key: str,
+        data_or_checksum: Any,
+        at_time: Optional[float] = None,
+    ) -> QueryResult:
+        """Verify data (or a precomputed checksum) against the on-chain record."""
+        if isinstance(data_or_checksum, (bytes, bytearray)):
+            checksum = checksum_of(data_or_checksum)
+        else:
+            checksum = str(data_or_checksum)
+        response, latency = self.network.query(
+            self.client_name,
+            self.chaincode_name,
+            "checkhash",
+            [key, checksum],
+            at_time=at_time,
+        )
+        if not response.is_ok or response.payload is None:
+            raise NotFoundError(response.message or f"key {key!r} not found")
+        matches = json.loads(response.payload)["matches"]
+        return QueryResult(payload=bool(matches), latency_s=latency)
+
+    def get_dependencies(self, key: str, at_time: Optional[float] = None) -> QueryResult:
+        """Dependency list of the latest record for ``key``."""
+        response, latency = self.network.query(
+            self.client_name, self.chaincode_name, "getdependencies", [key], at_time=at_time
+        )
+        if not response.is_ok or response.payload is None:
+            raise NotFoundError(response.message or f"key {key!r} not found")
+        return QueryResult(payload=json.loads(response.payload), latency_s=latency)
+
+    def query_records(
+        self, selector: Dict[str, Any], at_time: Optional[float] = None
+    ) -> QueryResult:
+        """Rich query: records whose fields match ``selector``.
+
+        Examples: ``{"creator": "camera-gw"}``, ``{"organization": "org2"}``,
+        ``{"metadata.station": "tromso-01"}``, ``{"dependencies": "raw/a"}``.
+        """
+        response, latency = self.network.query(
+            self.client_name,
+            self.chaincode_name,
+            "query",
+            [json.dumps(selector, sort_keys=True)],
+            at_time=at_time,
+        )
+        if not response.is_ok or response.payload is None:
+            raise ChaincodeError(response.message or "rich query failed")
+        rows = json.loads(response.payload)
+        records = [
+            {"key": row["key"], "record": ProvenanceRecord.from_json(row["record"])}
+            for row in rows
+        ]
+        self.metrics.histogram("query_latency_s").observe(latency)
+        return QueryResult(payload=records, latency_s=latency)
+
+    def on_provenance_recorded(self, callback) -> None:
+        """Subscribe to the chaincode event emitted on every committed ``set``.
+
+        ``callback`` receives a dict with ``key``, ``checksum``, ``creator``,
+        ``tx_id`` and ``block_number`` once the recording transaction commits
+        — the push-style integration the NodeJS client library offers through
+        Fabric's event hub.
+        """
+        event_topic = "chaincode_event:provenance_recorded"
+
+        def _handler(_topic: str, payload: Dict[str, Any]) -> None:
+            details = json.loads(payload.get("payload") or "{}")
+            details.update(
+                {"tx_id": payload.get("tx_id"), "block_number": payload.get("block_number")}
+            )
+            callback(details)
+
+        self.network.events.subscribe(event_topic, _handler)
+
+    def get_by_range(
+        self, start_key: str = "", end_key: str = "", at_time: Optional[float] = None
+    ) -> QueryResult:
+        """Provenance records in a key range."""
+        response, latency = self.network.query(
+            self.client_name,
+            self.chaincode_name,
+            "getbyrange",
+            [start_key, end_key],
+            at_time=at_time,
+        )
+        if not response.is_ok or response.payload is None:
+            raise ChaincodeError(response.message or "range query failed")
+        rows = json.loads(response.payload)
+        records = [
+            {"key": row["key"], "record": ProvenanceRecord.from_json(row["record"])}
+            for row in rows
+            if not row["key"].startswith("__")
+        ]
+        return QueryResult(payload=records, latency_s=latency)
+
+    # ------------------------------------------------------------ store_data
+    def _require_storage(self) -> ContentAddressedStore:
+        if self.storage is None:
+            raise ValidationError(
+                "this client was constructed without an off-chain storage backend"
+            )
+        return self.storage
+
+    def store_data(
+        self,
+        key: str,
+        data: bytes,
+        dependencies: Optional[List[str]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        at_time: Optional[float] = None,
+    ) -> PostResult:
+        """Store ``data`` off-chain and record its provenance on chain.
+
+        This is the operator exercised by Fig. 1 / Fig. 2: its cost includes
+        the checksum computation, the transfer to the storage node and the
+        on-chain transaction.
+        """
+        storage = self._require_storage()
+        start = self.network.engine.now if at_time is None else at_time
+        receipt = self._store_payload(storage, data, start)
+        post = self.post(
+            key=key,
+            checksum=receipt.checksum,
+            location=receipt.location,
+            dependencies=dependencies,
+            metadata=metadata,
+            size_bytes=len(data),
+            at_time=receipt.completed_at,
+        )
+        self.metrics.counter("store_data").inc()
+        self.metrics.histogram("store_data_bytes").observe(len(data))
+        return PostResult(handle=post.handle, record=post.record, storage_receipt=receipt)
+
+    def _store_payload(
+        self, storage: ContentAddressedStore, data: bytes, at_time: float
+    ) -> StorageReceipt:
+        backend = storage.backend
+        if isinstance(backend, SSHFSStorageBackend):
+            return storage.put(
+                data,
+                at_time=at_time,
+                client_device=self._context.device,
+                client_node=self._context.host_node,
+            )
+        return storage.put(data, at_time=at_time)
+
+    def get_data(self, key: str, at_time: Optional[float] = None) -> DataResult:
+        """Fetch the data behind ``key`` from off-chain storage and verify it."""
+        storage = self._require_storage()
+        start = self.network.engine.now if at_time is None else at_time
+        query = self.get(key, at_time=start)
+        record: ProvenanceRecord = query.payload
+
+        backend = storage.backend
+        fetch_start = start + query.latency_s
+        if isinstance(backend, SSHFSStorageBackend):
+            receipt = storage.get(
+                record.checksum,
+                at_time=fetch_start,
+                client_device=self._context.device,
+                client_node=self._context.host_node,
+                expected_checksum=record.checksum,
+            )
+        else:
+            receipt = storage.get(record.checksum, at_time=fetch_start)
+        obj = storage.get_object(record.checksum)
+        if obj is None:
+            raise NotFoundError(f"data for key {key!r} is missing from off-chain storage")
+        verified = checksum_of(obj.data) == record.checksum
+        if not verified:
+            raise ChecksumMismatchError(record.checksum, checksum_of(obj.data))
+        latency = (receipt.completed_at - start)
+        self.metrics.histogram("get_data_latency_s").observe(latency)
+        return DataResult(
+            record=record,
+            data=obj.data,
+            verified=verified,
+            latency_s=latency,
+            timings={"chain_s": query.latency_s, "storage_s": receipt.duration_s},
+        )
+
+    # -------------------------------------------------------------- lineage
+    def build_provenance_graph(self, peer_name: Optional[str] = None) -> ProvenanceGraph:
+        """Reconstruct the OPM graph from a peer's committed key history."""
+        peer = self.network.peer(peer_name or self._context.anchor_peer)
+        graph = ProvenanceGraph()
+        entries: List[HistoryEntry] = []
+        for key in peer.history.keys():
+            if key.startswith("__"):
+                continue
+            entries.extend(peer.history.history_for_key(key))
+        entries.sort(key=lambda e: (e.block_number, e.tx_number))
+        for entry in entries:
+            if entry.is_delete or not entry.value:
+                continue
+            record = ProvenanceRecord.from_json(entry.value)
+            graph.ingest_record(record, tx_id=entry.tx_id, block_number=entry.block_number)
+        return graph
+
+    def get_lineage(self, key: str, peer_name: Optional[str] = None) -> LineageReport:
+        """Full lineage report (ancestors, descendants, agents) for ``key``."""
+        graph = self.build_provenance_graph(peer_name)
+        return LineageQueryEngine(graph).lineage_report(key)

@@ -1,0 +1,108 @@
+"""Key pairs and a deterministic signature scheme.
+
+The scheme mimics the API of an asymmetric signature system:
+
+* a :class:`KeyPair` has a private part (kept by the owner) and a public
+  part (embedded in certificates),
+* :func:`sign` produces a signature with the private key,
+* :func:`verify` checks a signature given only the public key.
+
+Internally the "public key" is a commitment to the private key and the
+signature binds the message to the private key via HMAC; verification
+re-derives the commitment.  This gives unforgeability against actors that
+follow the library API (nobody else holds the private key object), which
+is sufficient for protocol-level simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+from repro.common.errors import CryptoError
+
+_PUBLIC_DERIVATION_TAG = b"hyperprov-public-key-v1"
+_SIGNATURE_TAG = b"hyperprov-signature-v1"
+
+#: Registry mapping public keys to the private key that generated them.  It
+#: plays the role of the asymmetric trapdoor: verifiers can re-compute the
+#: HMAC for any key created through this module without the signer handing
+#: them the private key object, while code outside the library cannot forge
+#: signatures for identities it did not create.  (A simulation substitute
+#: for real ECDSA — see the package docstring.)
+_KEY_REGISTRY: dict = {}
+
+
+def _derive_public(private_key: bytes) -> str:
+    return hashlib.sha256(_PUBLIC_DERIVATION_TAG + private_key).hexdigest()
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private/public key pair.
+
+    Create with :meth:`generate` (seeded, deterministic) rather than the
+    constructor so key material derivation stays in one place.
+    """
+
+    private_key: bytes = field(repr=False)
+    public_key: str
+
+    @classmethod
+    def generate(cls, seed: str) -> "KeyPair":
+        """Deterministically derive a key pair from an identity seed."""
+        private = hashlib.sha256(f"private:{seed}".encode("utf-8")).digest()
+        public = _derive_public(private)
+        _KEY_REGISTRY[public] = private
+        return cls(private_key=private, public_key=public)
+
+    def sign(self, message: bytes) -> str:
+        """Sign ``message`` with this key pair's private key."""
+        return sign(self.private_key, message)
+
+    def verify(self, message: bytes, signature: str) -> bool:
+        """Verify a signature against this key pair's public key."""
+        return verify(self.public_key, message, signature, private_hint=self.private_key)
+
+
+def sign(private_key: bytes, message: bytes) -> str:
+    """Produce a hex signature of ``message`` under ``private_key``."""
+    if not isinstance(message, (bytes, bytearray)):
+        raise CryptoError("messages must be bytes")
+    mac = hmac.new(private_key, _SIGNATURE_TAG + bytes(message), hashlib.sha256)
+    # The signature embeds the public key so verifiers can bind it to the
+    # claimed signer without access to the private key.
+    return f"{_derive_public(private_key)}:{mac.hexdigest()}"
+
+
+def verify(
+    public_key: str,
+    message: bytes,
+    signature: str,
+    private_hint: bytes | None = None,
+) -> bool:
+    """Check that ``signature`` over ``message`` was produced by the holder of
+    ``public_key``.
+
+    The HMAC is fully recomputed against the message, so a signature copied
+    onto different content fails verification.  The signing key is obtained
+    either from ``private_hint`` (when the verifier is the signer) or from
+    the module's key registry.
+    """
+    if not isinstance(signature, str) or ":" not in signature:
+        return False
+    embedded_public, mac_hex = signature.split(":", 1)
+    if embedded_public != public_key:
+        return False
+    if len(mac_hex) != 64 or any(c not in "0123456789abcdef" for c in mac_hex):
+        return False
+    signing_key = private_hint if private_hint is not None else _KEY_REGISTRY.get(public_key)
+    if signing_key is None:
+        return False
+    if _derive_public(signing_key) != public_key:
+        return False
+    expected = hmac.new(
+        signing_key, _SIGNATURE_TAG + bytes(message), hashlib.sha256
+    ).hexdigest()
+    return hmac.compare_digest(expected, mac_hex)

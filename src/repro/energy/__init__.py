@@ -1,0 +1,14 @@
+"""Energy modelling and measurement.
+
+The paper measures RPi power with an ODROID Smart Power meter placed
+between the device and its supply, sampling over 10-minute intervals
+(Fig. 3).  Here a :class:`~repro.energy.power.PowerModel` maps component
+utilization to watts and a :class:`~repro.energy.meter.PowerMeter`
+samples a device's power over virtual time, producing per-interval mean,
+max and total energy exactly like the paper's plots.
+"""
+
+from repro.energy.power import PowerModel, PowerSample
+from repro.energy.meter import PowerMeter, IntervalReport
+
+__all__ = ["PowerModel", "PowerSample", "PowerMeter", "IntervalReport"]

@@ -1,0 +1,485 @@
+"""FabricNetwork: wires clients, peers and the orderer into one system.
+
+This is the orchestration layer the HyperProv client library talks to.  It
+drives the full execute-order-validate pipeline over the simulated network
+and the device models, producing per-transaction
+:class:`~repro.fabric.proposal.TransactionHandle` objects with timestamped
+phases so the benchmark harness can report throughput and response times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import (
+    ConfigurationError,
+    EndorsementError,
+    NotFoundError,
+)
+from repro.common.events import EventBus
+from repro.common.ids import DeterministicIdGenerator
+from repro.common.metrics import MetricsRegistry
+from repro.consensus.base import OrderingService
+from repro.consensus.solo import SoloOrderingService
+from repro.devices.model import DeviceModel
+from repro.fabric.channel import Channel
+from repro.fabric.gossip import GossipDisseminator
+from repro.fabric.peer import CommitResult, Peer
+from repro.fabric.proposal import Proposal, ProposalResponse, TransactionHandle
+from repro.ledger.block import Block
+from repro.ledger.transaction import Transaction, TxValidationCode
+from repro.membership.identity import Identity
+from repro.network.fabric import NetworkFabric
+from repro.simulation.engine import SimulationEngine
+
+
+@dataclass
+class FabricNetworkConfig:
+    """Tunables for the orchestration layer."""
+
+    #: Use org-leader gossip for block dissemination instead of direct
+    #: orderer → every-peer delivery.
+    use_gossip: bool = False
+    #: Peers a client sends proposals to; ``None`` means every channel member.
+    endorsing_peers: Optional[List[str]] = None
+    #: Extra fixed client-side latency per request (SDK/GRPC overhead), seconds.
+    client_overhead_s: float = 0.002
+
+
+@dataclass
+class _ClientContext:
+    """Book-keeping for one registered client application."""
+
+    name: str
+    identity: Identity
+    device: DeviceModel
+    host_node: str
+    anchor_peer: str
+    pending: Dict[str, TransactionHandle] = field(default_factory=dict)
+
+
+class FabricNetwork:
+    """A complete simulated Fabric deployment on one channel."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        network: NetworkFabric,
+        channel: Channel,
+        orderer: Optional[OrderingService] = None,
+        orderer_node: str = "orderer",
+        orderer_device: Optional[DeviceModel] = None,
+        config: Optional[FabricNetworkConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.channel = channel
+        self.config = config or FabricNetworkConfig()
+        self.metrics = metrics or MetricsRegistry("fabric")
+        self.events = EventBus()
+        self.orderer_node = orderer_node
+        self.orderer_device = orderer_device
+        self.orderer = orderer or SoloOrderingService(
+            name=orderer_node, engine=engine, batch_config=channel.batch_config
+        )
+        self.orderer.register_consumer(self._on_block_ordered)
+        self.gossip = GossipDisseminator(network)
+        self._peers: Dict[str, Peer] = {}
+        self._clients: Dict[str, _ClientContext] = {}
+        self._tx_ids = DeterministicIdGenerator("tx")
+        #: Every block the ordering service has produced, in order.  Used to
+        #: bring peers that missed deliveries (partitions) back up to date.
+        self._ordered_blocks: List[Block] = []
+        if orderer_node not in self.network.nodes:
+            self.network.register_node(orderer_node)
+
+    # ------------------------------------------------------------- topology
+    def add_peer(self, peer: Peer) -> None:
+        """Register a peer node (joins it to the network fabric too)."""
+        if peer.name in self._peers:
+            raise ConfigurationError(f"peer {peer.name!r} is already part of the network")
+        self._peers[peer.name] = peer
+        if peer.name not in self.network.nodes:
+            self.network.register_node(peer.name, profile=peer.device.profile.nic)
+
+    def add_client(
+        self,
+        name: str,
+        identity: Identity,
+        device: DeviceModel,
+        host_node: Optional[str] = None,
+        anchor_peer: Optional[str] = None,
+    ) -> None:
+        """Register a client application.
+
+        ``host_node`` is the network node the client runs on (on the RPi
+        testbed the client shares the device with a peer).  ``anchor_peer``
+        is the peer whose commit completes the client's transactions.
+        """
+        if not self._peers:
+            raise ConfigurationError("add peers before registering clients")
+        host = host_node or name
+        if host not in self.network.nodes:
+            self.network.register_node(host, profile=device.profile.nic)
+        anchor = anchor_peer or sorted(self._peers)[0]
+        if anchor not in self._peers:
+            raise NotFoundError(f"anchor peer {anchor!r} is not part of the network")
+        self._clients[name] = _ClientContext(
+            name=name,
+            identity=identity,
+            device=device,
+            host_node=host,
+            anchor_peer=anchor,
+        )
+
+    def peer(self, name: str) -> Peer:
+        peer = self._peers.get(name)
+        if peer is None:
+            raise NotFoundError(f"unknown peer {name!r}")
+        return peer
+
+    @property
+    def peers(self) -> List[Peer]:
+        return [self._peers[name] for name in sorted(self._peers)]
+
+    def client_context(self, name: str) -> _ClientContext:
+        context = self._clients.get(name)
+        if context is None:
+            raise NotFoundError(f"unknown client {name!r}")
+        return context
+
+    def _endorsing_peer_names(self) -> List[str]:
+        if self.config.endorsing_peers is not None:
+            return list(self.config.endorsing_peers)
+        return sorted(self._peers)
+
+    # ----------------------------------------------------------- submission
+    def submit_transaction(
+        self,
+        client_name: str,
+        chaincode: str,
+        function: str,
+        args: List[str],
+        at_time: Optional[float] = None,
+        payload_size_bytes: int = 0,
+    ) -> TransactionHandle:
+        """Run the full invoke flow for one transaction.
+
+        The flow starts at ``at_time`` (defaults to "now"); the returned
+        handle completes when the client's anchor peer commits the block
+        containing the transaction.  Call ``engine.run_until_idle()`` (or
+        the harness's drain helper) to make pending batches flush.
+        """
+        context = self.client_context(client_name)
+        start = self.engine.now if at_time is None else at_time
+        if at_time is not None and at_time > self.engine.now:
+            handle = self._make_handle(start, function)
+            self.engine.schedule_at(
+                at_time,
+                lambda: self._run_invoke(context, chaincode, function, args, handle, payload_size_bytes),
+                label=f"submit:{handle.tx_id}",
+            )
+            return handle
+        handle = self._make_handle(start, function)
+        self._run_invoke(context, chaincode, function, args, handle, payload_size_bytes)
+        return handle
+
+    def _make_handle(self, submitted_at: float, function: str) -> TransactionHandle:
+        return TransactionHandle(
+            tx_id=self._tx_ids.next(), submitted_at=submitted_at, function=function
+        )
+
+    def _build_proposal(
+        self,
+        context: _ClientContext,
+        handle: TransactionHandle,
+        chaincode: str,
+        function: str,
+        args: List[str],
+        payload_size_bytes: int,
+    ) -> Proposal:
+        unsigned = Proposal(
+            tx_id=handle.tx_id,
+            channel=self.channel.name,
+            chaincode=chaincode,
+            function=function,
+            args=list(args),
+            creator=context.identity.certificate,
+            signature="",
+            timestamp=self.engine.now,
+            size_bytes=0,
+        )
+        signature = context.identity.sign(unsigned.signed_bytes())
+        size = len(unsigned.signed_bytes()) + 512 + payload_size_bytes
+        return Proposal(
+            tx_id=handle.tx_id,
+            channel=self.channel.name,
+            chaincode=chaincode,
+            function=function,
+            args=list(args),
+            creator=context.identity.certificate,
+            signature=signature,
+            timestamp=unsigned.timestamp,
+            size_bytes=size,
+        )
+
+    def _run_invoke(
+        self,
+        context: _ClientContext,
+        chaincode: str,
+        function: str,
+        args: List[str],
+        handle: TransactionHandle,
+        payload_size_bytes: int,
+    ) -> None:
+        start = max(handle.submitted_at, self.engine.now)
+        proposal = self._build_proposal(
+            context, handle, chaincode, function, args, payload_size_bytes
+        )
+
+        # Client-side preparation: marshal + sign.
+        prep = (
+            context.device.sign_time()
+            + context.device.serialization_time(proposal.size_bytes)
+            + self.config.client_overhead_s
+        )
+        _, prep_done = context.device.charge_cpu(start, prep, label=f"prepare:{handle.tx_id}")
+
+        # Phase 1: endorsement on every endorsing peer (in parallel).
+        responses, endorsement_done = self._collect_endorsements(
+            context, proposal, prep_done
+        )
+        handle.endorsed_at = endorsement_done
+        handle.timings["endorsement_s"] = endorsement_done - start
+
+        ok_responses = [r for r in responses if r.is_ok]
+        if not ok_responses:
+            message = responses[0].message if responses else "no endorsing peers reachable"
+            handle.response_payload = None
+            handle.complete(endorsement_done, TxValidationCode.ENDORSEMENT_POLICY_FAILURE)
+            self.metrics.counter("endorsement_failures").inc()
+            self.events.publish(
+                "endorsement_failed", {"tx_id": handle.tx_id, "message": message}
+            )
+            return
+
+        # Fabric requires all endorsements to agree on the read/write set.
+        reference = ok_responses[0].rw_set.digest()
+        consistent = [r for r in ok_responses if r.rw_set.digest() == reference]
+
+        handle.response_payload = consistent[0].payload
+
+        # Client verifies endorsements and assembles the envelope.
+        assemble = context.device.verify_time(len(consistent)) + context.device.sign_time()
+        _, assembled_at = context.device.charge_cpu(
+            endorsement_done, assemble, label=f"assemble:{handle.tx_id}"
+        )
+
+        transaction = Transaction(
+            tx_id=handle.tx_id,
+            channel=self.channel.name,
+            chaincode=chaincode,
+            function=function,
+            args=list(args),
+            rw_set=consistent[0].rw_set,
+            endorsements=[r.endorsement for r in consistent if r.endorsement],
+            creator=context.identity.certificate,
+            creator_signature=context.identity.sign(proposal.signed_bytes()),
+            timestamp=proposal.timestamp,
+            response_payload=consistent[0].payload,
+            chaincode_event=consistent[0].chaincode_event,
+        )
+        context.pending[handle.tx_id] = handle
+
+        # Phase 2: send to the orderer.
+        transfer = self.network.estimate_transfer_time(
+            context.host_node, self.orderer_node, transaction.size_bytes
+        )
+        arrival = assembled_at + transfer
+        handle.timings["to_orderer_s"] = transfer
+        self.engine.schedule_at(
+            arrival,
+            lambda: self._submit_to_orderer(transaction, handle),
+            label=f"order:{handle.tx_id}",
+        )
+
+    def _collect_endorsements(
+        self, context: _ClientContext, proposal: Proposal, sent_at: float
+    ) -> Tuple[List[ProposalResponse], float]:
+        responses: List[ProposalResponse] = []
+        completion_times: List[float] = []
+        for peer_name in self._endorsing_peer_names():
+            peer = self._peers[peer_name]
+            if not self.network.partitions.can_communicate(context.host_node, peer_name):
+                continue
+            to_peer = self.network.estimate_transfer_time(
+                context.host_node, peer_name, proposal.size_bytes
+            )
+            try:
+                response, ready_at = peer.endorse(proposal, sent_at + to_peer)
+            except EndorsementError:
+                continue
+            back = self.network.estimate_transfer_time(
+                peer_name, context.host_node, len((response.payload or "")) + 1024
+            )
+            responses.append(response)
+            completion_times.append(ready_at + back)
+        if not completion_times:
+            return responses, sent_at
+        return responses, max(completion_times)
+
+    def _submit_to_orderer(self, transaction: Transaction, handle: TransactionHandle) -> None:
+        handle.ordered_at = self.engine.now
+        if self.orderer_device is not None:
+            duration = self.orderer_device.serialization_time(transaction.size_bytes)
+            self.orderer_device.charge_cpu(
+                self.engine.now, duration, label=f"order:{transaction.tx_id}"
+            )
+        self.orderer.submit(transaction)
+
+    # ------------------------------------------------------------- delivery
+    def _on_block_ordered(self, block: Block) -> None:
+        """Deliver a freshly cut block to every peer and complete handles."""
+        self._ordered_blocks.append(block)
+        sent_at = self.engine.now
+        if self.orderer_device is not None:
+            duration = self.orderer_device.serialization_time(block.size_bytes)
+            _, sent_at = self.orderer_device.charge_cpu(
+                self.engine.now, duration, label=f"cut:{block.number}"
+            )
+
+        if self.config.use_gossip:
+            arrivals = self.gossip.disseminate(
+                self.orderer_node, self.peers, block.size_bytes, sent_at
+            )
+        else:
+            arrivals = {}
+            for peer in self.peers:
+                if not self.network.partitions.can_communicate(
+                    self.orderer_node, peer.name
+                ):
+                    continue
+                transfer = self.network.estimate_transfer_time(
+                    self.orderer_node, peer.name, block.size_bytes
+                )
+                arrivals[peer.name] = sent_at + transfer
+
+        commit_results = {}
+        for peer in self.peers:
+            if peer.name not in arrivals:
+                # Peer is unreachable (partition): it misses this block and
+                # will catch up from the orderer's delivery service once the
+                # partition heals and the next block reaches it.
+                self.metrics.counter("missed_deliveries").inc()
+                continue
+            self._catch_up_peer(peer, arrivals[peer.name], up_to=block.number)
+            commit_results[peer.name] = peer.deliver_block(block, arrivals[peer.name])
+
+        self.metrics.counter("blocks_delivered").inc()
+        self.events.publish("block_delivered", {"block": block, "commits": commit_results})
+
+        # Fan committed chaincode events out to network-level subscribers
+        # (the client library's event listeners hook in here).
+        if commit_results:
+            reference = next(iter(commit_results.values()))
+            for tx, code in zip(block.transactions, reference.validation_codes):
+                if code is TxValidationCode.VALID and tx.chaincode_event is not None:
+                    event_name, event_payload = tx.chaincode_event
+                    self.events.publish(
+                        f"chaincode_event:{event_name}",
+                        {
+                            "tx_id": tx.tx_id,
+                            "name": event_name,
+                            "payload": event_payload,
+                            "block_number": block.number,
+                        },
+                    )
+
+        self._complete_handles(block, commit_results)
+
+    def _catch_up_peer(self, peer: Peer, at_time: float, up_to: int) -> None:
+        """Deliver any blocks the peer missed before ``up_to`` (in order)."""
+        while peer.ledger_height < up_to:
+            missed = self._ordered_blocks[peer.ledger_height]
+            transfer = self.network.estimate_transfer_time(
+                self.orderer_node, peer.name, missed.size_bytes
+            )
+            peer.deliver_block(missed, at_time + transfer)
+            self.metrics.counter("catch_up_blocks").inc()
+
+    def _complete_handles(self, block: Block, commit_results: Dict[str, CommitResult]) -> None:
+
+        # Complete the handles of every client whose anchor peer committed.
+        for context in self._clients.values():
+            result = commit_results.get(context.anchor_peer)
+            if result is None:
+                continue
+            anchor_peer = self._peers[context.anchor_peer]
+            for position, tx in enumerate(block.transactions):
+                handle = context.pending.pop(tx.tx_id, None)
+                if handle is None:
+                    continue
+                code = result.validation_codes[position]
+                # Commit event reaches the client over the network.
+                notify = self.network.estimate_transfer_time(
+                    context.anchor_peer, context.host_node, 512
+                )
+                handle.timings["commit_notify_s"] = notify
+                handle.complete(
+                    result.committed_at + notify,
+                    code,
+                    block_number=result.block_number,
+                )
+                if code is TxValidationCode.VALID:
+                    self.metrics.counter("txs_committed").inc()
+                else:
+                    self.metrics.counter("txs_invalidated").inc()
+                self.metrics.histogram("tx_latency_s").observe(handle.latency_s)
+            _ = anchor_peer  # anchor peer already charged during deliver_block
+
+    # ---------------------------------------------------------------- query
+    def query(
+        self,
+        client_name: str,
+        chaincode: str,
+        function: str,
+        args: List[str],
+        at_time: Optional[float] = None,
+        peer_name: Optional[str] = None,
+    ) -> Tuple[ProposalResponse, float]:
+        """Evaluate a read-only chaincode function on a single peer.
+
+        Returns the response and the end-to-end latency in seconds.
+        """
+        context = self.client_context(client_name)
+        start = self.engine.now if at_time is None else at_time
+        target_name = peer_name or context.anchor_peer
+        peer = self.peer(target_name)
+        handle = self._make_handle(start, function)
+        proposal = self._build_proposal(context, handle, chaincode, function, args, 0)
+
+        prep = context.device.sign_time() + self.config.client_overhead_s
+        _, prep_done = context.device.charge_cpu(start, prep, label=f"query:{handle.tx_id}")
+        to_peer = self.network.estimate_transfer_time(
+            context.host_node, target_name, proposal.size_bytes
+        )
+        response, ready_at = peer.query(proposal, prep_done + to_peer)
+        back = self.network.estimate_transfer_time(
+            target_name, context.host_node, len(response.payload or "") + 1024
+        )
+        latency = (ready_at + back) - start
+        self.metrics.histogram("query_latency_s").observe(latency)
+        return response, latency
+
+    # -------------------------------------------------------------- helpers
+    def flush_and_drain(self, max_events: int = 1_000_000) -> None:
+        """Force pending batches out and run the simulation until idle."""
+        self.engine.run_until_idle(max_events=max_events)
+        self.orderer.flush()
+        self.engine.run_until_idle(max_events=max_events)
+
+    def ledger_heights(self) -> Dict[str, int]:
+        """Block height of every peer (should agree once drained)."""
+        return {name: peer.ledger_height for name, peer in self._peers.items()}

@@ -1,0 +1,329 @@
+"""Peers: endorsement, validation and commit.
+
+Each peer holds its own copy of the ledger (block store, world state,
+history index), hosts the installed chaincode, and runs on a
+:class:`~repro.devices.model.DeviceModel` so every endorsement and commit
+charges CPU/disk time on the machine it would have run on.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.chaincode.shim import ChaincodeStub
+from repro.common.errors import ChaincodeError, EndorsementError
+from repro.common.events import EventBus
+from repro.common.metrics import MetricsRegistry
+from repro.devices.model import DeviceModel
+from repro.fabric.channel import Channel
+from repro.fabric.proposal import Proposal, ProposalResponse
+from repro.ledger.block import Block
+from repro.ledger.blockchain import BlockStore
+from repro.ledger.history import HistoryDatabase
+from repro.ledger.transaction import (
+    Endorsement,
+    ReadWriteSet,
+    Transaction,
+    TxValidationCode,
+    Version,
+)
+from repro.ledger.world_state import WorldState
+from repro.membership.identity import Identity
+
+
+@dataclass
+class CommitResult:
+    """Outcome of delivering one block to one peer."""
+
+    peer: str
+    block_number: int
+    received_at: float
+    committed_at: float
+    validation_codes: List[TxValidationCode] = field(default_factory=list)
+    valid_count: int = 0
+    invalid_count: int = 0
+
+    @property
+    def commit_duration_s(self) -> float:
+        return self.committed_at - self.received_at
+
+
+class Peer:
+    """A Fabric peer node."""
+
+    def __init__(
+        self,
+        name: str,
+        identity: Identity,
+        device: DeviceModel,
+        channel: Channel,
+        event_bus: Optional[EventBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        parallel_validation: bool = False,
+    ) -> None:
+        self.name = name
+        self.identity = identity
+        self.device = device
+        self.channel = channel
+        self.events = event_bus or EventBus()
+        self.metrics = metrics or MetricsRegistry(f"peer.{name}")
+        #: FastFabric-style optimization (Gorenflo et al., cited by the
+        #: paper): validate endorsement signatures on all cores in parallel
+        #: instead of a single validator thread.
+        self.parallel_validation = parallel_validation
+        self.block_store = BlockStore()
+        self.world_state = WorldState()
+        self.history = HistoryDatabase()
+        self._committed_tx_ids: Set[str] = set()
+        channel.join(name)
+
+    # -------------------------------------------------------------- endorse
+    def endorse(self, proposal: Proposal, at_time: float) -> Tuple[ProposalResponse, float]:
+        """Simulate the chaincode for ``proposal`` and endorse the result.
+
+        Returns the response and the virtual time at which it is ready to
+        leave the peer (after CPU queueing on this device).
+        """
+        definition = self.channel.chaincodes.get(proposal.chaincode)
+        if not definition.is_installed_on(self.name):
+            raise EndorsementError(
+                f"chaincode {proposal.chaincode!r} is not installed on peer {self.name!r}"
+            )
+        # Validate the submitting client before doing any work.
+        msp = self.channel.msp
+        if not msp.verify_signature(
+            proposal.creator, proposal.signed_bytes(), proposal.signature
+        ):
+            response = ProposalResponse(
+                tx_id=proposal.tx_id,
+                peer=self.name,
+                status=500,
+                payload=None,
+                message="client signature rejected by MSP",
+                rw_set=ReadWriteSet(),
+                endorsement=None,
+                produced_at=at_time,
+            )
+            return response, at_time
+
+        # Simulate the chaincode against committed state.
+        stub = ChaincodeStub(
+            tx_id=proposal.tx_id,
+            channel=self.channel.name,
+            function=proposal.function,
+            args=list(proposal.args),
+            world_state=self.world_state,
+            history=self.history,
+            creator=proposal.creator,
+            timestamp=proposal.timestamp,
+        )
+        try:
+            result = definition.chaincode.invoke(stub)
+        except Exception as exc:  # noqa: BLE001 - chaincode bugs become 500s
+            raise ChaincodeError(f"chaincode {proposal.chaincode!r} crashed: {exc}") from exc
+
+        # Charge device time: signature verification of the client,
+        # chaincode execution (container IPC + state ops), response signing.
+        duration = (
+            self.device.verify_time()
+            + self.device.chaincode_time(stub.state_operations, proposal.size_bytes)
+            + self.device.sign_time()
+        )
+        _, finished_at = self.device.charge_cpu(at_time, duration, label=f"endorse:{proposal.tx_id}")
+
+        self.metrics.counter("endorsements").inc()
+        self.metrics.histogram("endorse_time_s").observe(finished_at - at_time)
+
+        if not result.is_ok:
+            response = ProposalResponse(
+                tx_id=proposal.tx_id,
+                peer=self.name,
+                status=result.status,
+                payload=result.payload,
+                message=result.message,
+                rw_set=stub.rw_set,
+                endorsement=None,
+                produced_at=finished_at,
+            )
+            return response, finished_at
+
+        response_digest = stub.rw_set.digest()
+        signature = self.identity.sign(response_digest.encode("ascii"))
+        endorsement = Endorsement(
+            endorser=self.name,
+            organization=self.identity.organization,
+            certificate=self.identity.certificate,
+            signature=signature,
+            response_digest=response_digest,
+        )
+        response = ProposalResponse(
+            tx_id=proposal.tx_id,
+            peer=self.name,
+            status=result.status,
+            payload=result.payload,
+            message=result.message,
+            rw_set=stub.rw_set,
+            endorsement=endorsement,
+            produced_at=finished_at,
+            chaincode_event=stub.event,
+        )
+        return response, finished_at
+
+    # ---------------------------------------------------------------- query
+    def query(self, proposal: Proposal, at_time: float) -> Tuple[ProposalResponse, float]:
+        """Evaluate a read-only invocation (no ordering, no commit)."""
+        response, finished_at = self.endorse(proposal, at_time)
+        self.metrics.counter("queries").inc()
+        return response, finished_at
+
+    # --------------------------------------------------------------- commit
+    def deliver_block(self, block: Block, at_time: float) -> CommitResult:
+        """Validate and commit a block received from the ordering service."""
+        # Each peer stores its own copy of the block: a node tampering with
+        # its local ledger must not silently alter the other peers' copies
+        # (the tamper-evidence tests rely on this isolation).
+        block = Block(
+            header=block.header,
+            transactions=copy.deepcopy(block.transactions),
+            orderer=block.orderer,
+        )
+        validation_codes: List[TxValidationCode] = []
+        verify_ops = 0
+        write_bytes = 0
+
+        block_number = self.block_store.height
+        for tx_position, tx in enumerate(block.transactions):
+            code = self._validate_transaction(tx)
+            if code is TxValidationCode.VALID:
+                version: Version = (block_number, tx_position)
+                self._apply_writes(tx, version, block.header.timestamp)
+                self._committed_tx_ids.add(tx.tx_id)
+                write_bytes += tx.size_bytes
+            validation_codes.append(code)
+            verify_ops += max(1, len(tx.endorsements))
+
+        validated_block = Block(
+            header=block.header,
+            transactions=block.transactions,
+            validation_flags=validation_codes,
+            orderer=block.orderer,
+        )
+        self.block_store.append(validated_block)
+
+        # Charge device time: verify endorsement signatures, MVCC checks
+        # (cheap), write the block to disk.  With FastFabric-style parallel
+        # validation the signature checks are spread over every core.
+        verify_duration = self.device.verify_time(verify_ops)
+        if self.parallel_validation:
+            verify_duration /= self.device.profile.cores
+        cpu_duration = verify_duration + self.device.serialization_time(block.size_bytes)
+        _, cpu_done = self.device.charge_cpu(at_time, cpu_duration, label=f"validate:{block.number}")
+        disk_duration = self.device.disk_write_time(block.size_bytes)
+        _, committed_at = self.device.occupy(
+            "disk", cpu_done, disk_duration, label=f"commit:{block.number}"
+        )
+
+        valid = sum(1 for c in validation_codes if c is TxValidationCode.VALID)
+        result = CommitResult(
+            peer=self.name,
+            block_number=validated_block.number,
+            received_at=at_time,
+            committed_at=committed_at,
+            validation_codes=validation_codes,
+            valid_count=valid,
+            invalid_count=len(validation_codes) - valid,
+        )
+
+        self.metrics.counter("blocks_committed").inc()
+        self.metrics.counter("txs_valid").inc(valid)
+        self.metrics.counter("txs_invalid").inc(len(validation_codes) - valid)
+        self.metrics.histogram("commit_time_s").observe(result.commit_duration_s)
+
+        self.events.publish(
+            "block_committed",
+            {"peer": self.name, "block": validated_block, "result": result},
+        )
+        for tx, code in zip(block.transactions, validation_codes):
+            self.events.publish(
+                f"tx_committed:{tx.tx_id}",
+                {
+                    "peer": self.name,
+                    "tx_id": tx.tx_id,
+                    "code": code,
+                    "committed_at": committed_at,
+                    "block_number": validated_block.number,
+                },
+            )
+            if code is TxValidationCode.VALID and tx.chaincode_event is not None:
+                event_name, event_payload = tx.chaincode_event
+                self.events.publish(
+                    f"chaincode_event:{event_name}",
+                    {
+                        "peer": self.name,
+                        "tx_id": tx.tx_id,
+                        "name": event_name,
+                        "payload": event_payload,
+                        "block_number": validated_block.number,
+                    },
+                )
+        return result
+
+    # ------------------------------------------------------------ validation
+    def _validate_transaction(self, tx: Transaction) -> TxValidationCode:
+        if tx.tx_id in self._committed_tx_ids:
+            return TxValidationCode.DUPLICATE_TXID
+
+        definition = self.channel.chaincodes.find(tx.chaincode)
+        if definition is None:
+            return TxValidationCode.INVALID_OTHER_REASON
+
+        msp = self.channel.msp
+        # Endorsement signature + certificate validation.
+        valid_orgs = set()
+        expected_digest = tx.rw_set.digest()
+        for endorsement in tx.endorsements:
+            if endorsement.response_digest != expected_digest:
+                return TxValidationCode.BAD_SIGNATURE
+            if not msp.validate_certificate(endorsement.certificate):
+                continue
+            valid_orgs.add(endorsement.organization)
+        if not definition.endorsement_policy.evaluate(valid_orgs):
+            return TxValidationCode.ENDORSEMENT_POLICY_FAILURE
+
+        # MVCC validation: every read version must still be current.
+        for read in tx.rw_set.reads:
+            current = self.world_state.get_version(read.key)
+            recorded = tuple(read.version) if read.version is not None else None
+            if current != recorded:
+                return TxValidationCode.MVCC_READ_CONFLICT
+        return TxValidationCode.VALID
+
+    def _apply_writes(self, tx: Transaction, version: Version, timestamp: float) -> None:
+        for write in tx.rw_set.writes:
+            if write.is_delete:
+                self.world_state.delete(write.key, version)
+            else:
+                self.world_state.put(write.key, write.value or "", version)
+            self.history.record(
+                key=write.key,
+                tx_id=tx.tx_id,
+                block_number=version[0],
+                tx_number=version[1],
+                timestamp=timestamp,
+                value=write.value,
+                is_delete=write.is_delete,
+            )
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def ledger_height(self) -> int:
+        return self.block_store.height
+
+    def committed(self, tx_id: str) -> bool:
+        """Whether the peer has committed a valid transaction with this id."""
+        return tx_id in self._committed_tx_ids
+
+    def state_snapshot(self) -> Dict[str, str]:
+        return self.world_state.snapshot()

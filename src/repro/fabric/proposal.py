@@ -1,0 +1,121 @@
+"""Proposals, proposal responses and client-visible transaction handles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.hashing import sha256_hex
+from repro.common.serialization import canonical_json
+from repro.crypto.certificates import Certificate
+from repro.ledger.transaction import Endorsement, ReadWriteSet, TxValidationCode
+
+
+@dataclass
+class Proposal:
+    """A chaincode invocation proposal sent to endorsing peers."""
+
+    tx_id: str
+    channel: str
+    chaincode: str
+    function: str
+    args: List[str]
+    creator: Certificate
+    signature: str
+    timestamp: float
+    #: Approximate wire size of the proposal (args can embed large metadata).
+    size_bytes: int = 0
+
+    def digest(self) -> str:
+        return sha256_hex(self.signed_bytes())
+
+    def signed_bytes(self) -> bytes:
+        """The bytes covered by the client's proposal signature."""
+        return canonical_json(
+            {
+                "tx_id": self.tx_id,
+                "channel": self.channel,
+                "chaincode": self.chaincode,
+                "function": self.function,
+                "args": self.args,
+            }
+        )
+
+
+@dataclass
+class ProposalResponse:
+    """An endorsing peer's response to a proposal."""
+
+    tx_id: str
+    peer: str
+    status: int
+    payload: Optional[str]
+    message: str
+    rw_set: ReadWriteSet
+    endorsement: Optional[Endorsement]
+    #: Virtual time at which the response left the peer.
+    produced_at: float = 0.0
+    #: Chaincode event set during simulation, as ``(name, payload)``.
+    chaincode_event: Optional[tuple] = None
+
+    @property
+    def is_ok(self) -> bool:
+        return self.status == 200 and self.endorsement is not None
+
+
+@dataclass
+class TransactionHandle:
+    """Client-side view of a submitted transaction's life cycle.
+
+    Completed by the Fabric network when the client's anchor peer commits
+    (or invalidates) the transaction.
+    """
+
+    tx_id: str
+    submitted_at: float
+    function: str
+    endorsed_at: float = 0.0
+    ordered_at: float = 0.0
+    committed_at: float = 0.0
+    validation_code: Optional[TxValidationCode] = None
+    response_payload: Optional[str] = None
+    commit_block: Optional[int] = None
+    #: Extra timing information (endorsement per-peer, transfer times, ...).
+    timings: Dict[str, float] = field(default_factory=dict)
+    _callbacks: List[Callable[["TransactionHandle"], None]] = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.validation_code is not None
+
+    @property
+    def is_valid(self) -> bool:
+        return self.validation_code is TxValidationCode.VALID
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency from submission to commit on the anchor peer."""
+        if not self.is_complete:
+            return float("nan")
+        return self.committed_at - self.submitted_at
+
+    def on_complete(self, callback: Callable[["TransactionHandle"], None]) -> None:
+        """Register a callback fired when the transaction completes."""
+        if self.is_complete:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def complete(
+        self,
+        committed_at: float,
+        validation_code: TxValidationCode,
+        block_number: Optional[int] = None,
+    ) -> None:
+        """Mark the transaction as finished (called by the Fabric network)."""
+        self.committed_at = committed_at
+        self.validation_code = validation_code
+        self.commit_block = block_number
+        for callback in self._callbacks:
+            callback(self)
+        self._callbacks.clear()

@@ -1,0 +1,119 @@
+"""Blocks: header, transaction list and hash chaining."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.hashing import sha256_hex
+from repro.common.serialization import canonical_json
+from repro.crypto.merkle import MerkleTree
+from repro.ledger.transaction import Transaction, TxValidationCode
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Immutable block header (number, previous hash, data hash)."""
+
+    number: int
+    previous_hash: str
+    data_hash: str
+    timestamp: float
+
+    def digest(self) -> str:
+        """Hash of the header; this is "the block hash" referenced by children."""
+        return sha256_hex(
+            canonical_json(
+                {
+                    "number": self.number,
+                    "previous_hash": self.previous_hash,
+                    "data_hash": self.data_hash,
+                    "timestamp": self.timestamp,
+                }
+            )
+        )
+
+
+@dataclass
+class Block:
+    """An ordered batch of transactions plus validation metadata.
+
+    ``validation_flags`` is filled in by the committing peer (one code per
+    transaction), mirroring Fabric's block metadata; the orderer leaves it
+    empty.
+    """
+
+    header: BlockHeader
+    transactions: List[Transaction]
+    validation_flags: List[TxValidationCode] = field(default_factory=list)
+    orderer: str = ""
+
+    @classmethod
+    def build(
+        cls,
+        number: int,
+        previous_hash: str,
+        transactions: List[Transaction],
+        timestamp: float,
+        orderer: str = "",
+    ) -> "Block":
+        """Assemble a block, computing the Merkle data hash over the txs."""
+        tree = MerkleTree([tx.envelope_bytes() for tx in transactions])
+        header = BlockHeader(
+            number=number,
+            previous_hash=previous_hash,
+            data_hash=tree.root,
+            timestamp=timestamp,
+        )
+        return cls(header=header, transactions=transactions, orderer=orderer)
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    @property
+    def hash(self) -> str:
+        return self.header.digest()
+
+    @property
+    def tx_count(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size of the block."""
+        return sum(tx.size_bytes for tx in self.transactions) + 256
+
+    def merkle_tree(self) -> MerkleTree:
+        """(Re)build the Merkle tree over the block's transactions."""
+        return MerkleTree([tx.envelope_bytes() for tx in self.transactions])
+
+    def verify_data_hash(self) -> bool:
+        """Check that the header's data hash matches the transactions."""
+        return self.merkle_tree().root == self.header.data_hash
+
+    def transaction_ids(self) -> List[str]:
+        return [tx.tx_id for tx in self.transactions]
+
+    def valid_transactions(self) -> List[Transaction]:
+        """Transactions marked VALID by the committer (all, if not yet validated)."""
+        if not self.validation_flags:
+            return list(self.transactions)
+        return [
+            tx
+            for tx, flag in zip(self.transactions, self.validation_flags)
+            if flag is TxValidationCode.VALID
+        ]
+
+    def validation_summary(self) -> Dict[str, int]:
+        """Count of transactions per validation code."""
+        summary: Dict[str, int] = {}
+        for flag in self.validation_flags:
+            summary[flag.value] = summary.get(flag.value, 0) + 1
+        return summary
+
+    def find_transaction(self, tx_id: str) -> Optional[Transaction]:
+        for tx in self.transactions:
+            if tx.tx_id == tx_id:
+                return tx
+        return None

@@ -1,0 +1,74 @@
+"""Per-key history index (Fabric's history database).
+
+HyperProv's core query — "show me the full operation history / lineage of
+this data item" — is served by the chaincode calling
+``GetHistoryForKey``, which walks this index.  Every committed write
+appends an entry recording the transaction, block height, timestamp and
+value written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One committed modification of a key."""
+
+    key: str
+    tx_id: str
+    block_number: int
+    tx_number: int
+    timestamp: float
+    value: Optional[str]
+    is_delete: bool = False
+
+
+class HistoryDatabase:
+    """Append-only index of every committed write, grouped by key."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, List[HistoryEntry]] = {}
+        self.total_entries = 0
+
+    def record(
+        self,
+        key: str,
+        tx_id: str,
+        block_number: int,
+        tx_number: int,
+        timestamp: float,
+        value: Optional[str],
+        is_delete: bool = False,
+    ) -> HistoryEntry:
+        """Append a history entry for ``key`` and return it."""
+        entry = HistoryEntry(
+            key=key,
+            tx_id=tx_id,
+            block_number=block_number,
+            tx_number=tx_number,
+            timestamp=timestamp,
+            value=value,
+            is_delete=is_delete,
+        )
+        self._entries.setdefault(key, []).append(entry)
+        self.total_entries += 1
+        return entry
+
+    def history_for_key(self, key: str) -> List[HistoryEntry]:
+        """All modifications of ``key`` in commit order (oldest first)."""
+        return list(self._entries.get(key, []))
+
+    def latest(self, key: str) -> Optional[HistoryEntry]:
+        """The most recent modification of ``key``."""
+        entries = self._entries.get(key)
+        return entries[-1] if entries else None
+
+    def version_count(self, key: str) -> int:
+        """How many times ``key`` has been written."""
+        return len(self._entries.get(key, []))
+
+    def keys(self) -> List[str]:
+        return sorted(self._entries)

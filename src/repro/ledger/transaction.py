@@ -1,0 +1,165 @@
+"""Transactions, read/write sets and endorsements."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.hashing import sha256_hex
+from repro.common.serialization import canonical_json
+from repro.crypto.certificates import Certificate
+
+#: A key version is (block_number, tx_number) exactly like Fabric's height-based versions.
+Version = Tuple[int, int]
+
+
+class TxValidationCode(enum.Enum):
+    """Validation outcome recorded for each transaction in a block.
+
+    A subset of Fabric's ``TxValidationCode`` enum — the codes the
+    reproduction can actually produce.
+    """
+
+    VALID = "VALID"
+    MVCC_READ_CONFLICT = "MVCC_READ_CONFLICT"
+    ENDORSEMENT_POLICY_FAILURE = "ENDORSEMENT_POLICY_FAILURE"
+    BAD_SIGNATURE = "BAD_SIGNATURE"
+    DUPLICATE_TXID = "DUPLICATE_TXID"
+    INVALID_OTHER_REASON = "INVALID_OTHER_REASON"
+
+
+@dataclass(frozen=True)
+class ReadSetEntry:
+    """A key read during simulation together with the version observed."""
+
+    key: str
+    version: Optional[Version]
+
+
+@dataclass(frozen=True)
+class WriteSetEntry:
+    """A key written during simulation; ``is_delete`` marks deletions."""
+
+    key: str
+    value: Optional[str]
+    is_delete: bool = False
+
+
+@dataclass
+class ReadWriteSet:
+    """The read/write set produced by simulating a chaincode invocation."""
+
+    reads: List[ReadSetEntry] = field(default_factory=list)
+    writes: List[WriteSetEntry] = field(default_factory=list)
+
+    def add_read(self, key: str, version: Optional[Version]) -> None:
+        self.reads.append(ReadSetEntry(key=key, version=version))
+
+    def add_write(self, key: str, value: Optional[str], is_delete: bool = False) -> None:
+        self.writes.append(WriteSetEntry(key=key, value=value, is_delete=is_delete))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "reads": [
+                {"key": entry.key, "version": list(entry.version) if entry.version else None}
+                for entry in self.reads
+            ],
+            "writes": [
+                {"key": entry.key, "value": entry.value, "is_delete": entry.is_delete}
+                for entry in self.writes
+            ],
+        }
+
+    def digest(self) -> str:
+        """Stable digest of the read/write set (what endorsers sign)."""
+        return sha256_hex(canonical_json(self.to_dict()))
+
+
+@dataclass
+class Endorsement:
+    """A peer's signature over a proposal response."""
+
+    endorser: str
+    organization: str
+    certificate: Certificate
+    signature: str
+    response_digest: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "endorser": self.endorser,
+            "organization": self.organization,
+            "certificate": self.certificate.to_dict(),
+            "signature": self.signature,
+            "response_digest": self.response_digest,
+        }
+
+
+@dataclass
+class Transaction:
+    """A fully assembled transaction ready for ordering.
+
+    Carries the chaincode invocation, the read/write set produced during
+    endorsement, the collected endorsements and the submitting client's
+    certificate — the same envelope content Fabric's orderer receives.
+    """
+
+    tx_id: str
+    channel: str
+    chaincode: str
+    function: str
+    args: List[str]
+    rw_set: ReadWriteSet
+    endorsements: List[Endorsement] = field(default_factory=list)
+    creator: Optional[Certificate] = None
+    creator_signature: str = ""
+    timestamp: float = 0.0
+    response_payload: Optional[str] = None
+    #: Chaincode event emitted during endorsement, as ``(name, payload)``.
+    chaincode_event: Optional[Tuple[str, str]] = None
+    validation_code: TxValidationCode = TxValidationCode.VALID
+
+    @property
+    def is_valid(self) -> bool:
+        return self.validation_code is TxValidationCode.VALID
+
+    def proposal_bytes(self) -> bytes:
+        """The canonical bytes of the original proposal (what the client signs)."""
+        return canonical_json(
+            {
+                "tx_id": self.tx_id,
+                "channel": self.channel,
+                "chaincode": self.chaincode,
+                "function": self.function,
+                "args": self.args,
+            }
+        )
+
+    def envelope_bytes(self) -> bytes:
+        """Canonical bytes of the full transaction envelope (hashed into blocks)."""
+        return canonical_json(
+            {
+                "tx_id": self.tx_id,
+                "channel": self.channel,
+                "chaincode": self.chaincode,
+                "function": self.function,
+                "args": self.args,
+                "rw_set": self.rw_set.to_dict(),
+                "endorsements": [e.to_dict() for e in self.endorsements],
+                "creator": self.creator.to_dict() if self.creator else None,
+                "timestamp": self.timestamp,
+            }
+        )
+
+    def digest(self) -> str:
+        return sha256_hex(self.envelope_bytes())
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size of the transaction envelope."""
+        return len(self.envelope_bytes())
+
+    def endorsing_organizations(self) -> List[str]:
+        """Distinct organizations that endorsed this transaction."""
+        return sorted({e.organization for e in self.endorsements})

@@ -1,0 +1,92 @@
+"""World state: the latest value and version of every key.
+
+Fabric stores the world state in LevelDB/CouchDB; the version of a key is
+the height (block number, tx number) of the transaction that last wrote
+it.  MVCC validation compares the versions recorded in a transaction's
+read set against the current world-state versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ledger.transaction import Version
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A committed value together with the version that wrote it."""
+
+    value: str
+    version: Version
+
+
+class WorldState:
+    """Versioned key/value store with range and composite-key queries."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, VersionedValue] = {}
+        self.writes_applied = 0
+
+    def get(self, key: str) -> Optional[VersionedValue]:
+        """The latest committed value for ``key``, or ``None``."""
+        return self._data.get(key)
+
+    def get_value(self, key: str) -> Optional[str]:
+        entry = self._data.get(key)
+        return entry.value if entry else None
+
+    def get_version(self, key: str) -> Optional[Version]:
+        entry = self._data.get(key)
+        return entry.version if entry else None
+
+    def put(self, key: str, value: str, version: Version) -> None:
+        """Commit a write (only the committing peer calls this)."""
+        self._data[key] = VersionedValue(value=value, version=version)
+        self.writes_applied += 1
+
+    def delete(self, key: str, version: Version) -> None:
+        """Remove a key from the world state."""
+        self._data.pop(key, None)
+        self.writes_applied += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> List[str]:
+        return sorted(self._data)
+
+    def items(self) -> Iterator[Tuple[str, VersionedValue]]:
+        for key in sorted(self._data):
+            yield key, self._data[key]
+
+    def range_query(self, start_key: str, end_key: str) -> List[Tuple[str, str]]:
+        """All ``(key, value)`` pairs with ``start_key <= key < end_key``.
+
+        An empty ``end_key`` means "to the end of the key space", matching
+        Fabric's ``GetStateByRange`` semantics.
+        """
+        results: List[Tuple[str, str]] = []
+        for key in sorted(self._data):
+            if key < start_key:
+                continue
+            if end_key and key >= end_key:
+                break
+            results.append((key, self._data[key].value))
+        return results
+
+    def query_by_prefix(self, prefix: str) -> List[Tuple[str, str]]:
+        """All pairs whose key starts with ``prefix`` (composite-key lookups)."""
+        return [
+            (key, entry.value)
+            for key, entry in self.items()
+            if key.startswith(prefix)
+        ]
+
+    def snapshot(self) -> Dict[str, str]:
+        """Plain ``{key: value}`` copy of the current state."""
+        return {key: entry.value for key, entry in self._data.items()}

@@ -1,0 +1,22 @@
+"""Simulated network fabric.
+
+Models the switched LAN used in the paper's two testbeds: every node pair
+is connected by a :class:`~repro.network.link.Link` with latency and
+bandwidth; transfers charge time to the virtual clock and to the sending
+and receiving NICs.  Partitions can be injected to exercise the resilience
+properties the paper motivates for edge deployments (Vegvisir-style
+partition scenarios).
+"""
+
+from repro.network.link import Link, LinkProfile
+from repro.network.fabric import NetworkFabric, Message, DeliveryReceipt
+from repro.network.partitions import PartitionManager
+
+__all__ = [
+    "Link",
+    "LinkProfile",
+    "NetworkFabric",
+    "Message",
+    "DeliveryReceipt",
+    "PartitionManager",
+]

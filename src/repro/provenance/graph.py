@@ -1,0 +1,185 @@
+"""The provenance graph: a typed DAG over artifacts, processes and agents."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+import networkx as nx
+
+from repro.chaincode.records import ProvenanceRecord
+from repro.common.errors import NotFoundError, ValidationError
+from repro.provenance.model import (
+    Agent,
+    Artifact,
+    OpmRelation,
+    ProvProcess,
+    RelationType,
+)
+
+OpmNode = Union[Artifact, ProvProcess, Agent]
+
+
+class ProvenanceGraph:
+    """Directed graph of OPM nodes with HyperProv-record ingestion.
+
+    Edges point from effect to cause, following OPM convention: an
+    artifact *wasDerivedFrom* its sources, a process *used* its inputs,
+    an artifact *wasGeneratedBy* the process that wrote it.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._nodes: Dict[str, OpmNode] = {}
+        #: Latest artifact id per ledger key (records arrive in commit order).
+        self._latest_version: Dict[str, str] = {}
+
+    # -------------------------------------------------------------- building
+    def add_node(self, node: OpmNode) -> str:
+        """Insert an OPM node (idempotent); returns its identifier."""
+        node_id = getattr(node, "artifact_id", None) or getattr(
+            node, "process_id", None
+        ) or getattr(node, "agent_id")
+        if node_id not in self._nodes:
+            self._nodes[node_id] = node
+            self._graph.add_node(node_id, kind=type(node).__name__)
+        return node_id
+
+    def add_relation(self, relation: OpmRelation) -> None:
+        """Insert a causal edge; both endpoints must already exist."""
+        for endpoint in (relation.source_id, relation.target_id):
+            if endpoint not in self._nodes:
+                raise NotFoundError(f"unknown provenance node {endpoint!r}")
+        self._graph.add_edge(
+            relation.source_id,
+            relation.target_id,
+            relation=relation.relation,
+            role=relation.role,
+        )
+
+    def ingest_record(
+        self,
+        record: ProvenanceRecord,
+        tx_id: str,
+        block_number: Optional[int] = None,
+    ) -> Artifact:
+        """Translate one committed HyperProv record into OPM nodes and edges."""
+        record.validate()
+        artifact = Artifact(
+            artifact_id=Artifact.version_id(record.key, record.checksum),
+            key=record.key,
+            checksum=record.checksum,
+            location=record.location,
+            created_at=record.timestamp,
+            size_bytes=record.size_bytes,
+            metadata=dict(record.metadata),
+        )
+        process = ProvProcess.for_transaction(
+            tx_id=tx_id,
+            function="set",
+            timestamp=record.timestamp,
+            block_number=block_number,
+        )
+        agent = Agent.for_identity(
+            record.creator, record.organization, record.certificate_fingerprint
+        )
+        artifact_id = self.add_node(artifact)
+        process_id = self.add_node(process)
+        agent_id = self.add_node(agent)
+
+        self.add_relation(
+            OpmRelation(artifact_id, process_id, RelationType.WAS_GENERATED_BY)
+        )
+        self.add_relation(
+            OpmRelation(process_id, agent_id, RelationType.WAS_CONTROLLED_BY)
+        )
+        for dependency_key in record.dependencies:
+            source_artifact_id = self._latest_version.get(dependency_key)
+            if source_artifact_id is None:
+                raise ValidationError(
+                    f"record {record.key!r} depends on {dependency_key!r}, "
+                    "which has no recorded version"
+                )
+            self.add_relation(
+                OpmRelation(process_id, source_artifact_id, RelationType.USED)
+            )
+            self.add_relation(
+                OpmRelation(artifact_id, source_artifact_id, RelationType.WAS_DERIVED_FROM)
+            )
+        self._latest_version[record.key] = artifact_id
+        return artifact
+
+    # ------------------------------------------------------------ inspection
+    def node(self, node_id: str) -> OpmNode:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise NotFoundError(f"unknown provenance node {node_id!r}")
+        return node
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def latest_artifact(self, key: str) -> Artifact:
+        """The most recently ingested artifact version for a ledger key."""
+        artifact_id = self._latest_version.get(key)
+        if artifact_id is None:
+            raise NotFoundError(f"no artifact recorded for key {key!r}")
+        node = self._nodes[artifact_id]
+        assert isinstance(node, Artifact)
+        return node
+
+    def artifacts(self) -> List[Artifact]:
+        return [n for n in self._nodes.values() if isinstance(n, Artifact)]
+
+    def processes(self) -> List[ProvProcess]:
+        return [n for n in self._nodes.values() if isinstance(n, ProvProcess)]
+
+    def agents(self) -> List[Agent]:
+        return [n for n in self._nodes.values() if isinstance(n, Agent)]
+
+    def relations(self) -> List[OpmRelation]:
+        return [
+            OpmRelation(
+                source_id=source,
+                target_id=target,
+                relation=data["relation"],
+                role=data.get("role", ""),
+            )
+            for source, target, data in self._graph.edges(data=True)
+        ]
+
+    def successors(self, node_id: str, relation: Optional[RelationType] = None) -> List[str]:
+        """Nodes this node causally depends on (edges point effect → cause)."""
+        results = []
+        for _source, target, data in self._graph.out_edges(node_id, data=True):
+            if relation is None or data["relation"] is relation:
+                results.append(target)
+        return results
+
+    def predecessors(self, node_id: str, relation: Optional[RelationType] = None) -> List[str]:
+        """Nodes that causally depend on this node."""
+        results = []
+        for source, _target, data in self._graph.in_edges(node_id, data=True):
+            if relation is None or data["relation"] is relation:
+                results.append(source)
+        return results
+
+    # ------------------------------------------------------------- integrity
+    def is_acyclic(self) -> bool:
+        """OPM graphs must be DAGs; returns whether that invariant holds."""
+        return nx.is_directed_acyclic_graph(self._graph)
+
+    def nx_graph(self) -> nx.DiGraph:
+        """A copy of the underlying networkx graph (for export/visualization)."""
+        return self._graph.copy()
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return self._graph.number_of_edges()
+
+    def keys(self) -> Iterable[str]:
+        """Ledger keys with at least one recorded artifact version."""
+        return sorted(self._latest_version)

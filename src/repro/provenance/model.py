@@ -1,0 +1,99 @@
+"""OPM core entities and relations.
+
+The Open Provenance Model (Moreau et al., 2011) defines three node types —
+artifacts, processes and agents — and five causal relations.  HyperProv's
+on-chain records map naturally onto them:
+
+* every version of a data item is an **artifact** (key + checksum),
+* the transaction that recorded it is a **process**,
+* the certificate subject that signed it is an **agent**,
+* the record's dependency list induces **used** / **wasDerivedFrom** edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class RelationType(enum.Enum):
+    """The five OPM causal dependencies."""
+
+    USED = "used"
+    WAS_GENERATED_BY = "wasGeneratedBy"
+    WAS_CONTROLLED_BY = "wasControlledBy"
+    WAS_TRIGGERED_BY = "wasTriggeredBy"
+    WAS_DERIVED_FROM = "wasDerivedFrom"
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """An immutable piece of state: one version of a data item."""
+
+    artifact_id: str
+    key: str
+    checksum: str
+    location: str = ""
+    created_at: float = 0.0
+    size_bytes: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+    @classmethod
+    def version_id(cls, key: str, checksum: str) -> str:
+        """Stable identifier for a (key, checksum) version pair."""
+        return f"artifact:{key}@{checksum[:16]}"
+
+
+@dataclass(frozen=True)
+class ProvProcess:
+    """An action that consumed and/or produced artifacts (one transaction)."""
+
+    process_id: str
+    tx_id: str
+    function: str
+    timestamp: float = 0.0
+    block_number: Optional[int] = None
+
+    @classmethod
+    def for_transaction(cls, tx_id: str, function: str, timestamp: float = 0.0,
+                        block_number: Optional[int] = None) -> "ProvProcess":
+        return cls(
+            process_id=f"process:{tx_id}",
+            tx_id=tx_id,
+            function=function,
+            timestamp=timestamp,
+            block_number=block_number,
+        )
+
+
+@dataclass(frozen=True)
+class Agent:
+    """The entity controlling a process (the certificate subject)."""
+
+    agent_id: str
+    name: str
+    organization: str
+    certificate_fingerprint: str = ""
+
+    @classmethod
+    def for_identity(cls, name: str, organization: str, fingerprint: str = "") -> "Agent":
+        return cls(
+            agent_id=f"agent:{organization}/{name}",
+            name=name,
+            organization=organization,
+            certificate_fingerprint=fingerprint,
+        )
+
+
+@dataclass(frozen=True)
+class OpmRelation:
+    """A typed, directed causal edge between two OPM nodes."""
+
+    source_id: str
+    target_id: str
+    relation: RelationType
+    role: str = ""
+
+    def describe(self) -> str:
+        return f"{self.source_id} --{self.relation.value}--> {self.target_id}"

@@ -1,0 +1,147 @@
+"""Lineage queries over the provenance graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro.common.errors import NotFoundError
+from repro.provenance.graph import ProvenanceGraph
+from repro.provenance.model import Artifact, RelationType
+
+
+@dataclass
+class LineageReport:
+    """Result of an ancestry/descendant query for one artifact."""
+
+    root: str
+    ancestors: List[str] = field(default_factory=list)
+    descendants: List[str] = field(default_factory=list)
+    depth: int = 0
+    contributing_agents: List[str] = field(default_factory=list)
+
+    @property
+    def ancestor_count(self) -> int:
+        return len(self.ancestors)
+
+    @property
+    def descendant_count(self) -> int:
+        return len(self.descendants)
+
+
+class LineageQueryEngine:
+    """Answers derivation questions against a :class:`ProvenanceGraph`."""
+
+    def __init__(self, graph: ProvenanceGraph) -> None:
+        self.graph = graph
+
+    # ------------------------------------------------------------- ancestry
+    def _derivation_subgraph(self) -> nx.DiGraph:
+        """Subgraph containing only artifact→artifact wasDerivedFrom edges."""
+        full = self.graph.nx_graph()
+        derived = nx.DiGraph()
+        derived.add_nodes_from(
+            node for node, data in full.nodes(data=True) if data.get("kind") == "Artifact"
+        )
+        for source, target, data in full.edges(data=True):
+            if data.get("relation") is RelationType.WAS_DERIVED_FROM:
+                derived.add_edge(source, target)
+        return derived
+
+    def ancestors_of(self, key: str, max_depth: Optional[int] = None) -> List[Artifact]:
+        """Every artifact the latest version of ``key`` transitively derives from."""
+        root = self.graph.latest_artifact(key)
+        derived = self._derivation_subgraph()
+        if root.artifact_id not in derived:
+            return []
+        if max_depth is None:
+            reachable: Set[str] = nx.descendants(derived, root.artifact_id)
+        else:
+            lengths = nx.single_source_shortest_path_length(
+                derived, root.artifact_id, cutoff=max_depth
+            )
+            reachable = {node for node, depth in lengths.items() if depth > 0}
+        return [self.graph.node(node_id) for node_id in sorted(reachable)]  # type: ignore[misc]
+
+    def descendants_of(self, key: str) -> List[Artifact]:
+        """Every artifact transitively derived from any version of ``key``."""
+        derived = self._derivation_subgraph()
+        results: Set[str] = set()
+        for artifact in self.graph.artifacts():
+            if artifact.key != key or artifact.artifact_id not in derived:
+                continue
+            results |= nx.ancestors(derived, artifact.artifact_id)
+        return [self.graph.node(node_id) for node_id in sorted(results)]  # type: ignore[misc]
+
+    def derivation_path(self, from_key: str, to_key: str) -> List[Artifact]:
+        """A shortest derivation chain from ``from_key``'s latest version back
+        to some version of ``to_key`` (empty if no derivation exists)."""
+        derived = self._derivation_subgraph()
+        source = self.graph.latest_artifact(from_key).artifact_id
+        targets = [a.artifact_id for a in self.graph.artifacts() if a.key == to_key]
+        best: Optional[List[str]] = None
+        for target in targets:
+            try:
+                path = nx.shortest_path(derived, source, target)
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                continue
+            if best is None or len(path) < len(best):
+                best = path
+        if best is None:
+            return []
+        return [self.graph.node(node_id) for node_id in best]  # type: ignore[misc]
+
+    # --------------------------------------------------------------- reports
+    def lineage_report(self, key: str) -> LineageReport:
+        """Full ancestry + descendants + contributing agents for a key."""
+        root = self.graph.latest_artifact(key)
+        ancestors = self.ancestors_of(key)
+        descendants = self.descendants_of(key)
+
+        derived = self._derivation_subgraph()
+        if root.artifact_id in derived:
+            depths = nx.single_source_shortest_path_length(derived, root.artifact_id)
+            depth = max(depths.values()) if depths else 0
+        else:
+            depth = 0
+
+        agents = self._contributing_agents({root.artifact_id} | {a.artifact_id for a in ancestors})
+        return LineageReport(
+            root=root.artifact_id,
+            ancestors=[a.artifact_id for a in ancestors],
+            descendants=[d.artifact_id for d in descendants],
+            depth=depth,
+            contributing_agents=sorted(agents),
+        )
+
+    def _contributing_agents(self, artifact_ids: Set[str]) -> Set[str]:
+        agents: Set[str] = set()
+        for artifact_id in artifact_ids:
+            for process_id in self.graph.successors(
+                artifact_id, RelationType.WAS_GENERATED_BY
+            ):
+                for agent_id in self.graph.successors(
+                    process_id, RelationType.WAS_CONTROLLED_BY
+                ):
+                    agents.add(agent_id)
+        return agents
+
+    def agents_for_key(self, key: str) -> List[str]:
+        """Agents that contributed to the latest version of ``key``."""
+        return self.lineage_report(key).contributing_agents
+
+    def version_chain(self, key: str) -> List[Artifact]:
+        """Every recorded version of ``key`` ordered by creation time."""
+        versions = [a for a in self.graph.artifacts() if a.key == key]
+        if not versions:
+            raise NotFoundError(f"no artifact recorded for key {key!r}")
+        return sorted(versions, key=lambda a: a.created_at)
+
+    def impact_set(self, key: str) -> Dict[str, List[str]]:
+        """Keys whose artifacts would be affected if ``key`` were corrupted."""
+        impacted: Dict[str, List[str]] = {}
+        for artifact in self.descendants_of(key):
+            impacted.setdefault(artifact.key, []).append(artifact.artifact_id)
+        return impacted

@@ -1,0 +1,213 @@
+"""Event queue and scheduler for the discrete-event simulation.
+
+The engine is intentionally small: events are callbacks scheduled at an
+absolute virtual time; ties are broken by insertion order so identical
+runs replay identically.  Long-running activities (block cutting timers,
+workload arrival processes) are modelled as :class:`Process` objects that
+re-schedule themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.simulation.clock import VirtualClock
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A callback scheduled at an absolute virtual timestamp.
+
+    ``daemon`` events (periodic heartbeats, election timers) keep firing as
+    long as the simulation runs but do not, by themselves, keep it alive:
+    :meth:`SimulationEngine.run_until_idle` stops once only daemon events
+    remain, the same way daemon threads do not prevent process exit.
+    """
+
+    timestamp: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    daemon: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (it stays in the queue but is skipped)."""
+        self.cancelled = True
+
+
+class Process:
+    """A recurring activity driven by the engine.
+
+    Subclasses (or instances constructed with ``body``) implement
+    :meth:`tick`, which returns the delay until the next activation, or
+    ``None`` to stop.
+    """
+
+    def __init__(
+        self,
+        engine: "SimulationEngine",
+        body: Optional[Callable[["Process"], Optional[float]]] = None,
+        label: str = "process",
+    ) -> None:
+        self.engine = engine
+        self.label = label
+        self._body = body
+        self._stopped = False
+        self.activations = 0
+
+    def tick(self) -> Optional[float]:
+        """Run one activation; return seconds until the next one, or ``None``."""
+        if self._body is None:
+            raise NotImplementedError("override tick() or pass a body callable")
+        return self._body(self)
+
+    def stop(self) -> None:
+        """Stop re-scheduling the process after the current activation."""
+        self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def start(self, delay: float = 0.0) -> None:
+        """Schedule the first activation ``delay`` seconds from now."""
+        self.engine.schedule_in(delay, self._activate, label=self.label)
+
+    def _activate(self) -> None:
+        if self._stopped:
+            return
+        self.activations += 1
+        next_delay = self.tick()
+        if next_delay is not None and not self._stopped:
+            self.engine.schedule_in(next_delay, self._activate, label=self.label)
+
+
+class SimulationEngine:
+    """Priority-queue based discrete-event scheduler."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+        self._running = False
+        # Count of queued non-daemon events (including cancelled ones that
+        # have not been popped yet); kept incrementally so the run loop's
+        # idle check is O(1).
+        self._non_daemon_queued = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule_at(
+        self, timestamp: float, callback: EventCallback, label: str = "", daemon: bool = False
+    ) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``timestamp``."""
+        if timestamp < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule an event in the past ({timestamp:.6f} < {self.now:.6f})"
+            )
+        event = Event(
+            timestamp=max(timestamp, self.now),
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+            daemon=daemon,
+        )
+        heapq.heappush(self._queue, event)
+        if not daemon:
+            self._non_daemon_queued += 1
+        return event
+
+    def schedule_in(
+        self, delay: float, callback: EventCallback, label: str = "", daemon: bool = False
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event with a negative delay")
+        return self.schedule_at(self.now + delay, callback, label=label, daemon=daemon)
+
+    def _pending_non_daemon(self) -> int:
+        """Number of queued events that keep the simulation alive.
+
+        Cancelled events still sitting in the heap are counted until they are
+        popped, which only delays the idle detection by a few no-op steps.
+        """
+        return self._non_daemon_queued
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.daemon:
+                self._non_daemon_queued -= 1
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.timestamp)
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue empties, ``until`` is reached, or
+        ``max_events`` have been executed.  Returns the number of events run.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    if not head.daemon:
+                        self._non_daemon_queued -= 1
+                    continue
+                if until is not None and head.timestamp > until:
+                    break
+                if until is None and self._pending_non_daemon() == 0:
+                    # Only daemon events (heartbeats, timers) remain; without a
+                    # horizon they would keep the simulation alive forever.
+                    break
+                if not self.step():
+                    break
+                executed += 1
+            if until is not None and self.now < until:
+                # Nothing more to do before the horizon: advance to it so that
+                # idle-time accounting (energy) covers the full interval.
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+        return executed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Drain the event queue; guards against runaway self-rescheduling."""
+        executed = self.run(max_events=max_events)
+        if self._queue and executed >= max_events:
+            raise SimulationError(
+                f"simulation did not converge within {max_events} events"
+            )
+        return executed

@@ -1,0 +1,28 @@
+"""Workload generation for benchmarks and examples.
+
+Provides deterministic payload generators for the IoT-at-the-edge use case
+the paper motivates (sensor readings, camera images, processed derivative
+files) and arrival processes (closed-loop and open-loop Poisson) that
+drive the benchmark harness.
+"""
+
+from repro.workloads.payloads import (
+    PayloadGenerator,
+    SensorReadingGenerator,
+    ImagePayloadGenerator,
+    DataItem,
+)
+from repro.workloads.arrivals import ArrivalProcess, ClosedLoopSchedule, PoissonSchedule
+from repro.workloads.scenarios import IoTPipelineWorkload, PipelineStage
+
+__all__ = [
+    "PayloadGenerator",
+    "SensorReadingGenerator",
+    "ImagePayloadGenerator",
+    "DataItem",
+    "ArrivalProcess",
+    "ClosedLoopSchedule",
+    "PoissonSchedule",
+    "IoTPipelineWorkload",
+    "PipelineStage",
+]

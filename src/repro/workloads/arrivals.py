@@ -1,0 +1,104 @@
+"""Arrival processes: when transactions are submitted.
+
+Two models are provided:
+
+* :class:`ClosedLoopSchedule` — a fixed number of outstanding clients,
+  each submitting its next request as soon as the previous one finishes
+  (this is how the paper's custom benchmarking program drives load), and
+* :class:`PoissonSchedule` — open-loop arrivals at a target rate, used by
+  the energy benchmark to hold a load level for a measurement interval.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, List
+
+from repro.common.errors import ConfigurationError
+from repro.simulation.randomness import DeterministicRandom
+
+
+class ArrivalProcess(ABC):
+    """Produces the virtual-time points at which requests are issued."""
+
+    @abstractmethod
+    def arrival_times(self) -> Iterator[float]:
+        """Yield absolute submission times, in non-decreasing order."""
+
+
+class ClosedLoopSchedule(ArrivalProcess):
+    """Back-to-back submissions from ``concurrency`` logical clients.
+
+    The discrete-event flow completes each transaction asynchronously, so
+    the closed loop is approximated by pacing each logical client at its
+    measured service time; the harness refines the pacing iteratively.
+    """
+
+    def __init__(
+        self,
+        total_requests: int,
+        concurrency: int = 1,
+        think_time_s: float = 0.0,
+        estimated_service_time_s: float = 0.05,
+    ) -> None:
+        if total_requests < 1:
+            raise ConfigurationError("total_requests must be >= 1")
+        if concurrency < 1:
+            raise ConfigurationError("concurrency must be >= 1")
+        self.total_requests = total_requests
+        self.concurrency = concurrency
+        self.think_time_s = think_time_s
+        self.estimated_service_time_s = estimated_service_time_s
+
+    def arrival_times(self) -> Iterator[float]:
+        period = self.estimated_service_time_s + self.think_time_s
+        issued = 0
+        round_index = 0
+        while issued < self.total_requests:
+            base = round_index * period
+            for lane in range(self.concurrency):
+                if issued >= self.total_requests:
+                    break
+                # Stagger lanes slightly so they do not collide on the client CPU.
+                yield base + lane * (period / max(1, self.concurrency) / 10.0)
+                issued += 1
+            round_index += 1
+
+
+class PoissonSchedule(ArrivalProcess):
+    """Open-loop Poisson arrivals at ``rate_per_s`` for ``duration_s``."""
+
+    def __init__(self, rate_per_s: float, duration_s: float, seed: int = 42,
+                 start_time_s: float = 0.0) -> None:
+        if rate_per_s < 0:
+            raise ConfigurationError("arrival rate cannot be negative")
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        self.rate_per_s = rate_per_s
+        self.duration_s = duration_s
+        self.start_time_s = start_time_s
+        self._rng = DeterministicRandom(seed)
+
+    def arrival_times(self) -> Iterator[float]:
+        if self.rate_per_s == 0:
+            return
+        cursor = self.start_time_s
+        end = self.start_time_s + self.duration_s
+        mean_gap = 1.0 / self.rate_per_s
+        while True:
+            cursor += self._rng.exponential(mean_gap)
+            if cursor >= end:
+                return
+            yield cursor
+
+    def expected_count(self) -> int:
+        """Expected number of arrivals over the schedule."""
+        return int(self.rate_per_s * self.duration_s)
+
+
+def merge_schedules(schedules: List[ArrivalProcess]) -> List[float]:
+    """Merge several arrival processes into one sorted submission list."""
+    times: List[float] = []
+    for schedule in schedules:
+        times.extend(schedule.arrival_times())
+    return sorted(times)

@@ -1,0 +1,178 @@
+"""Unit tests for the chaincode extensions: rich queries, ownership ACL and
+chaincode events (at the shim level, without a full deployment)."""
+
+import json
+
+import pytest
+
+from repro.chaincode.hyperprov import HyperProvChaincode
+from repro.chaincode.records import ProvenanceRecord
+from repro.chaincode.shim import ChaincodeStub
+from repro.common.errors import ChaincodeError
+from repro.common.hashing import checksum_of
+from repro.ledger.history import HistoryDatabase
+from repro.ledger.world_state import WorldState
+from repro.membership.identity import Organization
+
+
+@pytest.fixture
+def org1_cert():
+    return Organization("org1").enroll("client1", role="client").certificate
+
+
+@pytest.fixture
+def org2_cert():
+    return Organization("org2").enroll("client2", role="client").certificate
+
+
+def stub_for(function, args, state=None, creator=None):
+    return ChaincodeStub(
+        tx_id="tx-1",
+        channel="ch",
+        function=function,
+        args=args,
+        world_state=state if state is not None else WorldState(),
+        history=HistoryDatabase(),
+        creator=creator,
+        timestamp=1.0,
+    )
+
+
+def state_with_records(*records):
+    state = WorldState()
+    for position, record in enumerate(records):
+        state.put(record.key, record.to_json(), (0, position))
+    return state
+
+
+def record(key, creator="client1", organization="org1", metadata=None, dependencies=()):
+    return ProvenanceRecord(
+        key=key,
+        checksum=checksum_of(key.encode()),
+        location=f"ssh://storage/{key}",
+        creator=creator,
+        organization=organization,
+        certificate_fingerprint="fp",
+        metadata=metadata or {},
+        dependencies=list(dependencies),
+    )
+
+
+# ------------------------------------------------------------------ rich query
+def test_query_by_creator(org1_cert):
+    chaincode = HyperProvChaincode()
+    state = state_with_records(
+        record("a", creator="client1"), record("b", creator="someone-else")
+    )
+    response = chaincode.invoke(
+        stub_for("query", [json.dumps({"creator": "client1"})], state=state)
+    )
+    assert response.is_ok
+    assert [row["key"] for row in json.loads(response.payload)] == ["a"]
+
+
+def test_query_by_metadata_and_dependency(org1_cert):
+    chaincode = HyperProvChaincode()
+    state = state_with_records(
+        record("raw", metadata={"station": "tromso"}),
+        record("derived", dependencies=["raw"]),
+    )
+    by_metadata = chaincode.invoke(
+        stub_for("query", [json.dumps({"metadata.station": "tromso"})], state=state)
+    )
+    assert [row["key"] for row in json.loads(by_metadata.payload)] == ["raw"]
+    by_dependency = chaincode.invoke(
+        stub_for("query", [json.dumps({"dependencies": "raw"})], state=state)
+    )
+    assert [row["key"] for row in json.loads(by_dependency.payload)] == ["derived"]
+
+
+def test_query_rejects_malformed_selectors():
+    chaincode = HyperProvChaincode()
+    assert not chaincode.invoke(stub_for("query", [])).is_ok
+    assert not chaincode.invoke(stub_for("query", ["{not json"])).is_ok
+    assert not chaincode.invoke(stub_for("query", [json.dumps({})])).is_ok
+    assert not chaincode.invoke(stub_for("query", [json.dumps(["list"])])).is_ok
+
+
+def test_query_skips_internal_and_malformed_values():
+    chaincode = HyperProvChaincode()
+    state = state_with_records(record("good"))
+    state.put("__hyperprov_initialized__", "true", (0, 9))
+    state.put("broken", "not-a-record", (0, 10))
+    response = chaincode.invoke(
+        stub_for("query", [json.dumps({"organization": "org1"})], state=state)
+    )
+    assert [row["key"] for row in json.loads(response.payload)] == ["good"]
+
+
+# --------------------------------------------------------------------- ACL
+def test_set_rejected_for_foreign_organization(org2_cert):
+    chaincode = HyperProvChaincode()
+    state = state_with_records(record("owned", organization="org1"))
+    response = chaincode.invoke(
+        stub_for(
+            "set", ["owned", checksum_of(b"new"), "loc"], state=state, creator=org2_cert
+        )
+    )
+    assert not response.is_ok
+    assert "owned by organization" in response.message
+
+
+def test_set_allowed_for_owning_organization(org1_cert):
+    chaincode = HyperProvChaincode()
+    state = state_with_records(record("owned", organization="org1"))
+    response = chaincode.invoke(
+        stub_for(
+            "set", ["owned", checksum_of(b"new"), "loc"], state=state, creator=org1_cert
+        )
+    )
+    assert response.is_ok
+    updated = ProvenanceRecord.from_json(response.payload)
+    assert updated.metadata["previous_checksum"] == checksum_of(b"owned")
+
+
+def test_delete_rejected_for_foreign_organization(org2_cert):
+    chaincode = HyperProvChaincode()
+    state = state_with_records(record("owned", organization="org1"))
+    response = chaincode.invoke(
+        stub_for("delete", ["owned"], state=state, creator=org2_cert)
+    )
+    assert not response.is_ok
+
+
+def test_delete_allowed_for_owner(org1_cert):
+    chaincode = HyperProvChaincode()
+    state = state_with_records(record("owned", organization="org1"))
+    response = chaincode.invoke(
+        stub_for("delete", ["owned"], state=state, creator=org1_cert)
+    )
+    assert response.is_ok
+
+
+# -------------------------------------------------------------------- events
+def test_set_emits_provenance_recorded_event(org1_cert):
+    chaincode = HyperProvChaincode()
+    stub = stub_for("set", ["k", checksum_of(b"x"), "loc"], creator=org1_cert)
+    assert chaincode.invoke(stub).is_ok
+    assert stub.event is not None
+    name, payload = stub.event
+    assert name == HyperProvChaincode.RECORD_EVENT
+    assert json.loads(payload)["key"] == "k"
+
+
+def test_failed_set_emits_no_event(org2_cert):
+    chaincode = HyperProvChaincode()
+    state = state_with_records(record("owned", organization="org1"))
+    stub = stub_for("set", ["owned", checksum_of(b"x"), "loc"], state=state,
+                    creator=org2_cert)
+    assert not chaincode.invoke(stub).is_ok
+    assert stub.event is None
+
+
+def test_set_event_requires_name():
+    stub = stub_for("set", [])
+    with pytest.raises(ChaincodeError):
+        stub.set_event("")
+    stub.set_event("custom", "payload")
+    assert stub.event == ("custom", "payload")

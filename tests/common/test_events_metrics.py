@@ -1,0 +1,132 @@
+"""Tests for the event bus and the metrics registry."""
+
+import pytest
+
+from repro.common.events import EventBus
+from repro.common.metrics import Histogram, MetricsRegistry
+
+
+# ------------------------------------------------------------------ event bus
+def test_publish_reaches_subscriber():
+    bus = EventBus()
+    received = []
+    bus.subscribe("topic", lambda topic, payload: received.append((topic, payload)))
+    delivered = bus.publish("topic", {"x": 1})
+    assert delivered == 1
+    assert received == [("topic", {"x": 1})]
+
+
+def test_publish_without_subscribers_is_fine():
+    bus = EventBus()
+    assert bus.publish("nobody-listening", 42) == 0
+
+
+def test_multiple_subscribers_all_receive():
+    bus = EventBus()
+    hits = []
+    bus.subscribe("t", lambda *_: hits.append("a"))
+    bus.subscribe("t", lambda *_: hits.append("b"))
+    bus.publish("t")
+    assert hits == ["a", "b"]
+
+
+def test_unsubscribe_stops_delivery():
+    bus = EventBus()
+    hits = []
+    subscription = bus.subscribe("t", lambda *_: hits.append(1))
+    subscription.cancel()
+    bus.publish("t")
+    assert hits == []
+
+
+def test_subscriber_exception_propagates_after_all_handlers_run():
+    bus = EventBus()
+    hits = []
+
+    def failing(topic, payload):
+        raise RuntimeError("boom")
+
+    bus.subscribe("t", failing)
+    bus.subscribe("t", lambda *_: hits.append(1))
+    with pytest.raises(RuntimeError):
+        bus.publish("t")
+    assert hits == [1]
+
+
+def test_topics_lists_only_active_topics():
+    bus = EventBus()
+    bus.subscribe("a", lambda *_: None)
+    sub = bus.subscribe("b", lambda *_: None)
+    sub.cancel()
+    assert bus.topics() == ["a"]
+
+
+def test_published_count_increments():
+    bus = EventBus()
+    bus.publish("x")
+    bus.publish("y")
+    assert bus.published_count == 2
+
+
+# -------------------------------------------------------------------- metrics
+def test_counter_increments_and_rejects_negative():
+    registry = MetricsRegistry("test")
+    counter = registry.counter("ops")
+    counter.inc()
+    counter.inc(2)
+    assert counter.value == 3
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_and_add():
+    gauge = MetricsRegistry().gauge("queue")
+    gauge.set(5)
+    gauge.add(-2)
+    assert gauge.value == 3
+
+
+def test_histogram_summary_statistics():
+    histogram = Histogram("lat")
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.mean == pytest.approx(2.5)
+    assert histogram.minimum == 1.0
+    assert histogram.maximum == 4.0
+    assert histogram.percentile(50) == pytest.approx(2.5)
+    assert histogram.percentile(100) == 4.0
+
+
+def test_histogram_empty_is_safe():
+    histogram = Histogram("empty")
+    assert histogram.mean == 0.0
+    assert histogram.percentile(95) == 0.0
+    assert histogram.stddev == 0.0
+
+
+def test_histogram_percentile_validates_range():
+    histogram = Histogram("h")
+    histogram.observe(1.0)
+    with pytest.raises(ValueError):
+        histogram.percentile(150)
+
+
+def test_registry_namespaces_metric_names():
+    registry = MetricsRegistry("peer.p0")
+    registry.counter("txs").inc()
+    assert "peer.p0.txs" in registry.snapshot()
+
+
+def test_registry_same_name_returns_same_object():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_registry_reset_clears_everything():
+    registry = MetricsRegistry()
+    registry.counter("a").inc()
+    registry.histogram("b").observe(1)
+    registry.reset()
+    assert registry.snapshot() == {}

@@ -1,0 +1,145 @@
+"""Tests for the HyperProv client library (the paper's operator set)."""
+
+import pytest
+
+from repro.chaincode.records import ProvenanceRecord
+from repro.common.errors import ChaincodeError, NotFoundError, ValidationError
+from repro.common.hashing import checksum_of
+from repro.core.client import HyperProvClient
+
+
+def test_init_succeeds_on_healthy_deployment(desktop_deployment):
+    assert desktop_deployment.client.init() is True
+
+
+def test_init_fails_without_chaincode(desktop_deployment):
+    client = HyperProvClient(
+        network=desktop_deployment.fabric,
+        client_name="hyperprov-client",
+        storage=desktop_deployment.storage,
+        chaincode_name="not-instantiated",
+    )
+    with pytest.raises(ChaincodeError):
+        client.init()
+
+
+def test_post_and_get_metadata_only(desktop_deployment):
+    client = desktop_deployment.client
+    checksum = checksum_of(b"already stored elsewhere")
+    post = client.post(
+        key="external/1", checksum=checksum, location="file://edge-1/external/1",
+        metadata={"source": "camera"}, size_bytes=17,
+    )
+    desktop_deployment.drain()
+    assert post.handle.is_valid
+    record = client.get("external/1").payload
+    assert record.checksum == checksum
+    assert record.location == "file://edge-1/external/1"
+    assert record.metadata == {"source": "camera"}
+    assert record.creator == "hyperprov-client"
+    assert record.organization == "org1"
+
+
+def test_store_data_roundtrip_with_offchain_storage(desktop_deployment):
+    client = desktop_deployment.client
+    payload = b"sensor reading 21.5C"
+    post = client.store_data("sensors/1/r1", payload, metadata={"unit": "C"})
+    desktop_deployment.drain()
+    assert post.handle.is_valid
+    assert post.storage_receipt is not None
+    assert post.storage_receipt.checksum == checksum_of(payload)
+
+    result = client.get_data("sensors/1/r1")
+    assert result.verified
+    assert result.data == payload
+    assert result.timings["chain_s"] > 0
+    assert result.timings["storage_s"] > 0
+
+
+def test_get_data_detects_offchain_tampering(desktop_deployment):
+    client = desktop_deployment.client
+    payload = b"original"
+    post = client.store_data("tamper/1", payload)
+    desktop_deployment.drain()
+    # Corrupt the off-chain object behind the chain's back.
+    path = desktop_deployment.storage.path_for(post.record.checksum)
+    backend = desktop_deployment.storage_backend
+    obj = backend.get_object(path)
+    backend._objects[path] = type(obj)(
+        path=obj.path, data=b"corrupted", checksum=obj.checksum, stored_at=obj.stored_at
+    )
+    with pytest.raises(Exception):
+        client.get_data("tamper/1")
+
+
+def test_check_hash_accepts_bytes_and_checksums(desktop_deployment):
+    client = desktop_deployment.client
+    payload = b"integrity matters"
+    client.store_data("check/1", payload)
+    desktop_deployment.drain()
+    assert client.check_hash("check/1", payload).payload is True
+    assert client.check_hash("check/1", checksum_of(payload)).payload is True
+    assert client.check_hash("check/1", b"modified").payload is False
+
+
+def test_get_key_history_shows_every_version(desktop_deployment):
+    client = desktop_deployment.client
+    for version in (b"v1", b"v2", b"v3"):
+        client.store_data("versioned/key", version)
+        desktop_deployment.drain()
+    history = client.get_key_history("versioned/key")
+    assert len(history.payload) == 3
+    checksums = [entry["record"].checksum for entry in history.payload]
+    assert checksums == [checksum_of(b"v1"), checksum_of(b"v2"), checksum_of(b"v3")]
+
+
+def test_get_dependencies_and_lineage(desktop_deployment):
+    client = desktop_deployment.client
+    client.store_data("raw/a", b"a")
+    client.store_data("raw/b", b"b")
+    desktop_deployment.drain()
+    client.store_data("derived/ab", b"ab", dependencies=["raw/a", "raw/b"])
+    desktop_deployment.drain()
+
+    deps = client.get_dependencies("derived/ab").payload
+    assert sorted(deps) == ["raw/a", "raw/b"]
+
+    lineage = client.get_lineage("derived/ab")
+    assert lineage.ancestor_count == 2
+    assert lineage.contributing_agents == ["agent:org1/hyperprov-client"]
+
+
+def test_get_by_range_excludes_internal_keys(desktop_deployment):
+    client = desktop_deployment.client
+    client.store_data("range/a", b"1")
+    client.store_data("range/b", b"2")
+    desktop_deployment.drain()
+    rows = client.get_by_range("range/", "range/~").payload
+    assert [row["key"] for row in rows] == ["range/a", "range/b"]
+    assert all(isinstance(row["record"], ProvenanceRecord) for row in rows)
+
+
+def test_get_missing_key_raises(desktop_deployment):
+    with pytest.raises(NotFoundError):
+        desktop_deployment.client.get("does/not/exist")
+    with pytest.raises(NotFoundError):
+        desktop_deployment.client.get_key_history("does/not/exist")
+
+
+def test_store_data_requires_storage_backend(desktop_deployment):
+    client = HyperProvClient(
+        network=desktop_deployment.fabric, client_name="hyperprov-client", storage=None
+    )
+    with pytest.raises(ValidationError):
+        client.store_data("k", b"x")
+    with pytest.raises(ValidationError):
+        client.get_data("k")
+
+
+def test_query_latencies_are_recorded(desktop_deployment):
+    client = desktop_deployment.client
+    client.store_data("lat/1", b"x")
+    desktop_deployment.drain()
+    result = client.get("lat/1")
+    assert result.latency_s > 0
+    assert client.metrics.get_histogram("get_latency_s").count == 1

@@ -1,0 +1,151 @@
+"""Tests for the extended client/chaincode features: rich queries,
+ownership access control, chaincode events and parallel validation."""
+
+import pytest
+
+from repro.bench.ablation_fastfabric import run_fastfabric_ablation
+from repro.common.errors import ChaincodeError
+from repro.common.hashing import checksum_of
+from repro.core.client import HyperProvClient
+from repro.core.topology import build_desktop_deployment
+from repro.ledger.transaction import TxValidationCode
+
+
+# ----------------------------------------------------------------- rich query
+def test_query_records_by_creator_and_metadata(desktop_deployment):
+    client = desktop_deployment.client
+    client.store_data("q/a", b"a", metadata={"station": "tromso-01"})
+    client.store_data("q/b", b"b", metadata={"station": "oslo-02"})
+    desktop_deployment.drain()
+
+    by_creator = client.query_records({"creator": "hyperprov-client"}).payload
+    assert {row["key"] for row in by_creator} == {"q/a", "q/b"}
+
+    by_station = client.query_records({"metadata.station": "tromso-01"}).payload
+    assert [row["key"] for row in by_station] == ["q/a"]
+
+    none = client.query_records({"creator": "nobody"}).payload
+    assert none == []
+
+
+def test_query_records_by_dependency(desktop_deployment):
+    client = desktop_deployment.client
+    client.store_data("q/raw", b"raw")
+    desktop_deployment.drain()
+    client.store_data("q/derived", b"derived", dependencies=["q/raw"])
+    desktop_deployment.drain()
+    rows = client.query_records({"dependencies": "q/raw"}).payload
+    assert [row["key"] for row in rows] == ["q/derived"]
+
+
+def test_query_records_rejects_bad_selector(desktop_deployment):
+    client = desktop_deployment.client
+    client.store_data("q/x", b"x")
+    desktop_deployment.drain()
+    with pytest.raises(ChaincodeError):
+        client.query_records({})
+
+
+# ------------------------------------------------------------ access control
+@pytest.fixture
+def second_org_client(desktop_deployment):
+    """A client enrolled with org2 on the same channel."""
+    org2 = desktop_deployment.channel.msp.organization("org2")
+    identity = org2.enroll("org2-client", role="client")
+    device = desktop_deployment.peers[1].device
+    desktop_deployment.fabric.add_client(
+        "org2-client",
+        identity=identity,
+        device=device,
+        host_node=desktop_deployment.peers[1].name,
+        anchor_peer=desktop_deployment.peers[1].name,
+    )
+    return HyperProvClient(
+        network=desktop_deployment.fabric,
+        client_name="org2-client",
+        storage=desktop_deployment.storage,
+    )
+
+
+def test_other_organization_cannot_update_owned_key(desktop_deployment, second_org_client):
+    owner = desktop_deployment.client
+    owner.store_data("owned/key", b"v1")
+    desktop_deployment.drain()
+
+    # org2's client tries to overwrite org1's record: rejected at endorsement.
+    attempt = second_org_client.post(
+        key="owned/key", checksum=checksum_of(b"forged"), location="loc"
+    )
+    desktop_deployment.drain()
+    assert attempt.handle.is_complete
+    assert attempt.handle.validation_code is TxValidationCode.ENDORSEMENT_POLICY_FAILURE
+
+    # The original record is untouched, and the owner can still update it.
+    assert owner.get("owned/key").payload.checksum == checksum_of(b"v1")
+    update = owner.store_data("owned/key", b"v2")
+    desktop_deployment.drain()
+    assert update.handle.is_valid
+
+
+def test_other_organization_cannot_delete_owned_key(desktop_deployment, second_org_client):
+    owner = desktop_deployment.client
+    owner.store_data("owned/delete-me", b"v1")
+    desktop_deployment.drain()
+    handle = desktop_deployment.fabric.submit_transaction(
+        "org2-client", "hyperprov", "delete", ["owned/delete-me"]
+    )
+    desktop_deployment.drain()
+    assert not handle.is_valid
+    assert owner.get("owned/delete-me").payload.checksum == checksum_of(b"v1")
+
+
+def test_second_org_can_create_its_own_keys(desktop_deployment, second_org_client):
+    post = second_org_client.store_data("org2/data", b"theirs")
+    desktop_deployment.drain()
+    assert post.handle.is_valid
+    record = second_org_client.get("org2/data").payload
+    assert record.organization == "org2"
+
+
+# ------------------------------------------------------------------- events
+def test_provenance_recorded_event_fires_on_commit(desktop_deployment):
+    client = desktop_deployment.client
+    received = []
+    client.on_provenance_recorded(received.append)
+
+    post = client.store_data("events/1", b"payload")
+    assert received == []  # nothing until the block commits
+    desktop_deployment.drain()
+
+    assert len(received) == 1
+    event = received[0]
+    assert event["key"] == "events/1"
+    assert event["checksum"] == post.record.checksum
+    assert event["creator"] == "hyperprov-client"
+    assert event["block_number"] == post.handle.commit_block
+
+
+def test_no_event_for_invalidated_transaction(desktop_deployment):
+    client = desktop_deployment.client
+    received = []
+    client.on_provenance_recorded(received.append)
+    # Two conflicting updates: only the winner emits an event.
+    client.post(key="events/conflict", checksum=checksum_of(b"a"), location="loc")
+    client.post(key="events/conflict", checksum=checksum_of(b"b"), location="loc")
+    desktop_deployment.drain()
+    assert len(received) == 1
+
+
+# -------------------------------------------------------- parallel validation
+def test_parallel_validation_never_slower():
+    ablation = run_fastfabric_ablation(payload_bytes=1024, requests=15)
+    assert ablation.results["parallel"].committed == 15
+    assert ablation.speedup >= 0.95
+
+
+def test_parallel_validation_flag_reaches_peers():
+    deployment = build_desktop_deployment(parallel_validation=True, seed=2)
+    assert all(peer.parallel_validation for peer in deployment.peers)
+    post = deployment.client.store_data("pv/1", b"x")
+    deployment.drain()
+    assert post.handle.is_valid

@@ -1,0 +1,185 @@
+"""Tests for peers (endorse/validate/commit) and the Fabric network flow."""
+
+import pytest
+
+from repro.chaincode.hyperprov import HyperProvChaincode
+from repro.chaincode.records import ProvenanceRecord
+from repro.common.errors import EndorsementError
+from repro.common.hashing import checksum_of
+from repro.consensus.batching import BatchConfig
+from repro.core.topology import build_desktop_deployment
+from repro.fabric.gossip import GossipDisseminator
+from repro.fabric.proposal import Proposal
+from repro.ledger.transaction import TxValidationCode
+from repro.membership.policies import majority_of
+
+
+def make_proposal(identity, function, args, tx_id="tx-1", chaincode="hyperprov"):
+    unsigned = Proposal(
+        tx_id=tx_id, channel="test-channel", chaincode=chaincode, function=function,
+        args=args, creator=identity.certificate, signature="", timestamp=0.0,
+    )
+    return Proposal(
+        tx_id=tx_id, channel="test-channel", chaincode=chaincode, function=function,
+        args=args, creator=identity.certificate,
+        signature=identity.sign(unsigned.signed_bytes()), timestamp=0.0,
+        size_bytes=len(unsigned.signed_bytes()),
+    )
+
+
+# ------------------------------------------------------------------------ peer
+def test_peer_endorses_valid_set_proposal(single_peer, organizations):
+    client = organizations[0].enroll("client1", role="client")
+    proposal = make_proposal(
+        client, "set", ["k", checksum_of(b"x"), "ssh://storage/k"]
+    )
+    response, finished_at = single_peer.endorse(proposal, at_time=0.0)
+    assert response.is_ok
+    assert response.endorsement is not None
+    assert response.endorsement.organization == "org1"
+    assert finished_at > 0.0
+    assert response.rw_set.writes[0].key == "k"
+
+
+def test_peer_rejects_bad_client_signature(single_peer, organizations):
+    client = organizations[0].enroll("client1", role="client")
+    proposal = make_proposal(client, "set", ["k", checksum_of(b"x"), "loc"])
+    forged = Proposal(
+        tx_id=proposal.tx_id, channel=proposal.channel, chaincode=proposal.chaincode,
+        function=proposal.function, args=["k", checksum_of(b"y"), "loc"],
+        creator=proposal.creator, signature=proposal.signature, timestamp=0.0,
+    )
+    response, _ = single_peer.endorse(forged, at_time=0.0)
+    assert not response.is_ok
+    assert response.endorsement is None
+
+
+def test_peer_rejects_uninstalled_chaincode(single_peer, organizations):
+    client = organizations[0].enroll("client1", role="client")
+    proposal = make_proposal(client, "set", ["k", checksum_of(b"x"), "loc"],
+                             chaincode="unknown-cc")
+    with pytest.raises(Exception):
+        single_peer.endorse(proposal, at_time=0.0)
+
+
+def test_peer_endorsement_charges_device_time(single_peer, organizations):
+    client = organizations[0].enroll("client1", role="client")
+    proposal = make_proposal(client, "set", ["k", checksum_of(b"x"), "loc"])
+    single_peer.endorse(proposal, at_time=0.0)
+    assert single_peer.device.busy_time(component="cpu") > 0.0
+
+
+def test_peer_rejects_chaincode_app_error(single_peer, organizations):
+    client = organizations[0].enroll("client1", role="client")
+    proposal = make_proposal(client, "get", ["missing-key"])
+    response, _ = single_peer.endorse(proposal, at_time=0.0)
+    assert not response.is_ok
+
+
+# ------------------------------------------------------------------ full flow
+def test_full_invoke_flow_commits_on_all_peers(desktop_deployment):
+    client = desktop_deployment.client
+    post = client.post(
+        key="data/1", checksum=checksum_of(b"x"), location="ssh://storage/data/1"
+    )
+    desktop_deployment.drain()
+    assert post.handle.is_complete
+    assert post.handle.is_valid
+    assert post.handle.latency_s > 0
+    heights = desktop_deployment.fabric.ledger_heights()
+    assert set(heights.values()) == {1}
+    for peer in desktop_deployment.peers:
+        assert peer.committed(post.handle.tx_id)
+        assert peer.block_store.verify_chain()
+
+
+def test_query_does_not_create_blocks(desktop_deployment):
+    client = desktop_deployment.client
+    post = client.post(key="q/1", checksum=checksum_of(b"x"), location="loc")
+    desktop_deployment.drain()
+    heights_before = desktop_deployment.fabric.ledger_heights()
+    result = client.get("q/1")
+    assert isinstance(result.payload, ProvenanceRecord)
+    assert result.latency_s > 0
+    assert desktop_deployment.fabric.ledger_heights() == heights_before
+    assert post.handle.is_valid
+
+
+def test_duplicate_key_updates_create_history(desktop_deployment):
+    client = desktop_deployment.client
+    for version in range(3):
+        client.post(
+            key="versioned", checksum=checksum_of(f"v{version}".encode()), location="loc"
+        )
+        desktop_deployment.drain()
+    history = client.get_key_history("versioned").payload
+    assert len(history) == 3
+
+
+def test_mvcc_conflict_between_concurrent_writers(desktop_deployment):
+    """Two transactions writing the same key in the same block: the second
+    one read the same version as the first, so it must be invalidated."""
+    client = desktop_deployment.client
+    checksum = checksum_of(b"x")
+    first = client.post(key="conflict", checksum=checksum, location="loc-a")
+    second = client.post(key="conflict", checksum=checksum, location="loc-b")
+    desktop_deployment.drain()
+    codes = {first.handle.validation_code, second.handle.validation_code}
+    assert TxValidationCode.VALID in codes
+    assert TxValidationCode.MVCC_READ_CONFLICT in codes
+
+
+def test_endorsement_failure_completes_handle_without_block(desktop_deployment):
+    client = desktop_deployment.client
+    # 'get' on a missing key fails at endorsement time; submit it as an invoke.
+    handle = desktop_deployment.fabric.submit_transaction(
+        "hyperprov-client", "hyperprov", "set", ["only-a-key"],
+    )
+    desktop_deployment.drain()
+    assert handle.is_complete
+    assert not handle.is_valid
+
+
+def test_batch_size_one_gives_one_block_per_tx():
+    deployment = build_desktop_deployment(
+        batch_config=BatchConfig(max_message_count=1), seed=1
+    )
+    client = deployment.client
+    for i in range(3):
+        client.post(key=f"k{i}", checksum=checksum_of(b"x"), location="loc")
+        deployment.drain()
+    assert set(deployment.fabric.ledger_heights().values()) == {3}
+
+
+def test_transaction_handle_timings_populated(desktop_deployment):
+    client = desktop_deployment.client
+    post = client.post(key="t/1", checksum=checksum_of(b"x"), location="loc")
+    desktop_deployment.drain()
+    handle = post.handle
+    assert handle.endorsed_at > handle.submitted_at
+    assert handle.ordered_at >= handle.endorsed_at
+    assert handle.committed_at > handle.ordered_at
+    assert "endorsement_s" in handle.timings
+
+
+# --------------------------------------------------------------------- gossip
+def test_gossip_elects_one_leader_per_org(desktop_deployment):
+    gossip = GossipDisseminator(desktop_deployment.network)
+    leaders = gossip.elect_leaders(desktop_deployment.peers)
+    assert len(leaders) == 4  # one org per peer in this deployment
+    arrivals = gossip.disseminate(
+        "orderer", desktop_deployment.peers, block_size_bytes=4096, sent_at=1.0
+    )
+    assert set(arrivals) == {p.name for p in desktop_deployment.peers}
+    assert all(t > 1.0 for t in arrivals.values())
+
+
+def test_gossip_respects_partitions(desktop_deployment):
+    gossip = GossipDisseminator(desktop_deployment.network)
+    unreachable = desktop_deployment.peers[-1].name
+    others = [p.name for p in desktop_deployment.peers[:-1]] + ["orderer", "storage"]
+    desktop_deployment.network.partitions.partition([others, [unreachable]])
+    arrivals = gossip.disseminate(
+        "orderer", desktop_deployment.peers, block_size_bytes=4096, sent_at=0.0
+    )
+    assert unreachable not in arrivals

@@ -1,0 +1,160 @@
+"""Integration tests across the full stack.
+
+These exercise the same paths the paper's deployment exercises: multi-item
+IoT pipelines, ledger agreement across peers, tamper evidence, MVCC under
+contention, partition behaviour and recovery of lineage from chain state.
+"""
+
+import pytest
+
+from repro.common.errors import PartitionError
+from repro.common.hashing import checksum_of
+from repro.consensus.batching import BatchConfig
+from repro.core.topology import build_desktop_deployment, build_rpi_deployment
+from repro.ledger.transaction import TxValidationCode
+from repro.provenance.queries import LineageQueryEngine
+from repro.workloads.scenarios import IoTPipelineWorkload, PipelineStage
+
+
+def test_multi_round_pipeline_lineage_and_agreement(desktop_deployment):
+    """Three ingestion rounds and two derivation stages: every peer ends with
+    the same ledger, and lineage queries see the whole derivation tree."""
+    workload = IoTPipelineWorkload(
+        desktop_deployment.client, sensor_count=2, camera_count=1,
+        image_size_bytes=4 * 1024, seed=3,
+    )
+    for _ in range(3):
+        workload.ingest_round()
+        desktop_deployment.drain()
+    summary = workload.derive(PipelineStage(name="summary"))
+    desktop_deployment.drain()
+    report = workload.derive(
+        PipelineStage(name="report", reduction_factor=0.1), source_posts=[summary]
+    )
+    desktop_deployment.drain()
+
+    heights = set(desktop_deployment.fabric.ledger_heights().values())
+    assert len(heights) == 1
+
+    lineage = desktop_deployment.client.get_lineage(report.record.key)
+    assert lineage.ancestor_count == 10  # 9 raw items + the summary
+
+    states = [peer.state_snapshot() for peer in desktop_deployment.peers]
+    assert all(state == states[0] for state in states[1:])
+
+
+def test_ledger_is_tamper_evident(desktop_deployment):
+    """Rewriting a committed transaction on one peer breaks its chain
+    verification while honest peers still verify — the core guarantee."""
+    client = desktop_deployment.client
+    client.store_data("evidence/1", b"original data")
+    desktop_deployment.drain()
+
+    victim = desktop_deployment.peers[0]
+    block = victim.block_store.block(0)
+    target_tx = next(tx for tx in block.transactions if tx.function == "set")
+    target_tx.args[1] = checksum_of(b"forged data")
+
+    assert not victim.block_store.verify_chain()
+    for honest in desktop_deployment.peers[1:]:
+        assert honest.block_store.verify_chain()
+
+
+def test_history_survives_world_state_deletion(desktop_deployment):
+    client = desktop_deployment.client
+    client.store_data("ephemeral/1", b"short lived")
+    desktop_deployment.drain()
+    handle = desktop_deployment.fabric.submit_transaction(
+        "hyperprov-client", "hyperprov", "delete", ["ephemeral/1"]
+    )
+    desktop_deployment.drain()
+    assert handle.is_valid
+    history = client.get_key_history("ephemeral/1").payload
+    assert len(history) == 2
+    assert history[-1].get("deleted") is True
+
+
+def test_partitioned_peer_misses_blocks_and_no_endorsement_majority_fails():
+    deployment = build_desktop_deployment(
+        batch_config=BatchConfig(max_message_count=1), seed=9
+    )
+    client = deployment.client
+    client.store_data("pre-partition", b"x")
+    deployment.drain()
+
+    # Cut off two of the four peers: the majority (3-of-4) endorsement policy
+    # can no longer be satisfied, so new transactions are invalidated.
+    client_host = deployment.fabric.client_context("hyperprov-client").host_node
+    reachable = {deployment.peers[2].name, deployment.peers[3].name,
+                 "orderer", "storage", client_host}
+    isolated = [deployment.peers[0].name, deployment.peers[1].name]
+    deployment.network.partitions.partition([sorted(reachable), isolated])
+
+    post = client.store_data("during-partition", b"y")
+    deployment.drain()
+    assert post.handle.is_complete
+    assert post.handle.validation_code is TxValidationCode.ENDORSEMENT_POLICY_FAILURE
+
+    # Heal the partition: new transactions commit again on the reachable peers.
+    deployment.network.partitions.heal()
+    recovered = client.store_data("after-heal", b"z")
+    deployment.drain()
+    assert recovered.handle.is_valid
+
+
+def test_direct_send_between_partitioned_nodes_raises(desktop_deployment):
+    network = desktop_deployment.network
+    a, b = desktop_deployment.peers[0].name, desktop_deployment.peers[1].name
+    network.partitions.partition([[a], [b]])
+    with pytest.raises(PartitionError):
+        network.send(a, b, "ping", None, 10)
+    network.partitions.heal()
+
+
+def test_mvcc_contention_many_writers_single_key(desktop_deployment):
+    """Ten updates of one key submitted concurrently: exactly one per block
+    window wins; the rest are MVCC-invalidated, and history only contains the
+    winners (Fabric semantics)."""
+    client = desktop_deployment.client
+    posts = [
+        client.post(key="hot-key", checksum=checksum_of(f"v{i}".encode()), location="loc")
+        for i in range(10)
+    ]
+    desktop_deployment.drain()
+    valid = [p for p in posts if p.handle.is_valid]
+    invalid = [p for p in posts if not p.handle.is_valid]
+    assert len(valid) >= 1
+    assert len(invalid) >= 1
+    assert all(
+        p.handle.validation_code is TxValidationCode.MVCC_READ_CONFLICT for p in invalid
+    )
+    history = client.get_key_history("hot-key").payload
+    assert len(history) == len(valid)
+
+
+def test_provenance_graph_rebuilt_from_chain_matches_submissions(rpi_deployment):
+    client = rpi_deployment.client
+    client.store_data("iot/raw-1", b"r1")
+    client.store_data("iot/raw-2", b"r2")
+    rpi_deployment.drain()
+    client.store_data("iot/combined", b"c", dependencies=["iot/raw-1", "iot/raw-2"])
+    rpi_deployment.drain()
+
+    graph = client.build_provenance_graph()
+    assert {a.key for a in graph.artifacts()} == {"iot/raw-1", "iot/raw-2", "iot/combined"}
+    assert graph.is_acyclic()
+    engine = LineageQueryEngine(graph)
+    assert {a.key for a in engine.ancestors_of("iot/combined")} == {"iot/raw-1", "iot/raw-2"}
+
+
+def test_rpi_and_desktop_agree_on_semantics_but_not_speed():
+    desktop = build_desktop_deployment(seed=21)
+    rpi = build_rpi_deployment(seed=21)
+    payload = b"cross-platform item"
+    desktop_post = desktop.client.store_data("x", payload)
+    rpi_post = rpi.client.store_data("x", payload)
+    desktop.drain()
+    rpi.drain()
+    assert desktop_post.record.checksum == rpi_post.record.checksum
+    assert desktop.client.get("x").payload.checksum == rpi.client.get("x").payload.checksum
+    assert rpi_post.handle.latency_s > desktop_post.handle.latency_s

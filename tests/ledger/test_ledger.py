@@ -1,0 +1,197 @@
+"""Tests for transactions, blocks, world state, history and the block store."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.ledger.block import Block
+from repro.ledger.blockchain import BlockStore, GENESIS_PREVIOUS_HASH
+from repro.ledger.history import HistoryDatabase
+from repro.ledger.transaction import ReadWriteSet, Transaction, TxValidationCode
+from repro.ledger.world_state import WorldState
+
+
+def make_tx(tx_id: str, key: str = "k", value: str = "v", read_version=None) -> Transaction:
+    rw_set = ReadWriteSet()
+    rw_set.add_read(key, read_version)
+    rw_set.add_write(key, value)
+    return Transaction(
+        tx_id=tx_id,
+        channel="ch",
+        chaincode="hyperprov",
+        function="set",
+        args=[key, value],
+        rw_set=rw_set,
+    )
+
+
+# ----------------------------------------------------------------- transaction
+def test_rw_set_digest_is_stable_and_content_sensitive():
+    a = ReadWriteSet()
+    a.add_read("k", (0, 1))
+    a.add_write("k", "v")
+    b = ReadWriteSet()
+    b.add_read("k", (0, 1))
+    b.add_write("k", "v")
+    assert a.digest() == b.digest()
+    b.add_write("other", "x")
+    assert a.digest() != b.digest()
+
+
+def test_transaction_digest_covers_args():
+    assert make_tx("t1", value="a").digest() != make_tx("t1", value="b").digest()
+
+
+def test_transaction_size_positive_and_grows_with_args():
+    small = make_tx("t1", value="v")
+    large = make_tx("t1", value="v" * 10_000)
+    assert 0 < small.size_bytes < large.size_bytes
+
+
+def test_transaction_is_valid_flag():
+    tx = make_tx("t1")
+    assert tx.is_valid
+    tx.validation_code = TxValidationCode.MVCC_READ_CONFLICT
+    assert not tx.is_valid
+
+
+# ----------------------------------------------------------------------- block
+def test_block_build_computes_merkle_data_hash():
+    block = Block.build(0, GENESIS_PREVIOUS_HASH, [make_tx("t1"), make_tx("t2")], timestamp=1.0)
+    assert block.verify_data_hash()
+    assert block.tx_count == 2
+
+
+def test_block_data_hash_detects_tampering():
+    block = Block.build(0, GENESIS_PREVIOUS_HASH, [make_tx("t1"), make_tx("t2")], timestamp=1.0)
+    block.transactions[0].args[1] = "tampered"
+    assert not block.verify_data_hash()
+
+
+def test_block_valid_transactions_respects_flags():
+    txs = [make_tx("t1"), make_tx("t2")]
+    block = Block.build(0, GENESIS_PREVIOUS_HASH, txs, timestamp=0.0)
+    assert len(block.valid_transactions()) == 2
+    block.validation_flags = [TxValidationCode.VALID, TxValidationCode.MVCC_READ_CONFLICT]
+    assert [tx.tx_id for tx in block.valid_transactions()] == ["t1"]
+    assert block.validation_summary() == {"VALID": 1, "MVCC_READ_CONFLICT": 1}
+
+
+def test_block_find_transaction():
+    block = Block.build(0, GENESIS_PREVIOUS_HASH, [make_tx("t1")], timestamp=0.0)
+    assert block.find_transaction("t1") is not None
+    assert block.find_transaction("missing") is None
+
+
+# ----------------------------------------------------------------- world state
+def test_world_state_put_get_with_versions():
+    state = WorldState()
+    state.put("k", "v1", (0, 0))
+    assert state.get_value("k") == "v1"
+    assert state.get_version("k") == (0, 0)
+    state.put("k", "v2", (1, 3))
+    assert state.get_version("k") == (1, 3)
+
+
+def test_world_state_delete():
+    state = WorldState()
+    state.put("k", "v", (0, 0))
+    state.delete("k", (1, 0))
+    assert state.get("k") is None
+    assert "k" not in state
+
+
+def test_world_state_range_query():
+    state = WorldState()
+    for key in ["a/1", "a/2", "b/1"]:
+        state.put(key, key.upper(), (0, 0))
+    assert state.range_query("a/", "a/~") == [("a/1", "A/1"), ("a/2", "A/2")]
+    assert state.range_query("a/", "") == [("a/1", "A/1"), ("a/2", "A/2"), ("b/1", "B/1")]
+
+
+def test_world_state_prefix_query_and_snapshot():
+    state = WorldState()
+    state.put("sensors/1", "x", (0, 0))
+    state.put("cameras/1", "y", (0, 1))
+    assert state.query_by_prefix("sensors/") == [("sensors/1", "x")]
+    assert state.snapshot() == {"sensors/1": "x", "cameras/1": "y"}
+    assert len(state) == 2
+
+
+# -------------------------------------------------------------------- history
+def test_history_records_in_order():
+    history = HistoryDatabase()
+    history.record("k", "t1", 0, 0, 1.0, "v1")
+    history.record("k", "t2", 1, 0, 2.0, "v2")
+    entries = history.history_for_key("k")
+    assert [e.value for e in entries] == ["v1", "v2"]
+    assert history.latest("k").tx_id == "t2"
+    assert history.version_count("k") == 2
+
+
+def test_history_unknown_key_is_empty():
+    history = HistoryDatabase()
+    assert history.history_for_key("ghost") == []
+    assert history.latest("ghost") is None
+
+
+def test_history_tracks_deletes():
+    history = HistoryDatabase()
+    history.record("k", "t1", 0, 0, 1.0, "v1")
+    history.record("k", "t2", 1, 0, 2.0, None, is_delete=True)
+    assert history.latest("k").is_delete
+
+
+# ------------------------------------------------------------------ blockstore
+def _chain_of(count: int) -> BlockStore:
+    store = BlockStore()
+    for number in range(count):
+        block = Block.build(
+            number, store.latest_hash, [make_tx(f"t{number}")], timestamp=float(number)
+        )
+        store.append(block)
+    return store
+
+
+def test_blockstore_appends_and_links():
+    store = _chain_of(3)
+    assert store.height == 3
+    assert store.verify_chain()
+    assert store.block(1).header.previous_hash == store.block(0).hash
+
+
+def test_blockstore_rejects_wrong_number():
+    store = _chain_of(1)
+    wrong = Block.build(5, store.latest_hash, [make_tx("x")], timestamp=0.0)
+    with pytest.raises(ValidationError):
+        store.append(wrong)
+
+
+def test_blockstore_rejects_broken_hash_link():
+    store = _chain_of(1)
+    wrong = Block.build(1, GENESIS_PREVIOUS_HASH * 1, [make_tx("x")], timestamp=0.0)
+    # previous hash points at genesis instead of block 0.
+    if store.block(0).hash != GENESIS_PREVIOUS_HASH:
+        with pytest.raises(ValidationError):
+            store.append(wrong)
+
+
+def test_blockstore_rejects_tampered_block_data():
+    store = _chain_of(1)
+    block = Block.build(1, store.latest_hash, [make_tx("t1b")], timestamp=1.0)
+    block.transactions[0].args[1] = "tampered"
+    with pytest.raises(ValidationError):
+        store.append(block)
+
+
+def test_blockstore_transaction_index():
+    store = _chain_of(3)
+    assert store.find_transaction("t2").tx_id == "t2"
+    assert store.transaction_location("t2") == (2, 0)
+    assert store.find_transaction("missing") is None
+    assert store.total_transactions == 3
+
+
+def test_blockstore_block_out_of_range():
+    store = _chain_of(1)
+    with pytest.raises(NotFoundError):
+        store.block(10)

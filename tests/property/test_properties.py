@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) on core data-structure invariants."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.hashing import HashChain, checksum_of
+from repro.common.serialization import canonical_json, from_canonical_json
+from repro.crypto.merkle import MerkleTree
+from repro.ledger.block import Block
+from repro.ledger.blockchain import BlockStore
+from repro.ledger.transaction import ReadWriteSet, Transaction
+from repro.ledger.world_state import WorldState
+from repro.membership.policies import OutOfPolicy, SignaturePolicy
+from repro.simulation.resources import SimResource
+
+payloads = st.binary(min_size=0, max_size=256)
+keys = st.text(alphabet="abcdefghij/", min_size=1, max_size=12)
+
+
+def make_tx(tx_id: str, key: str, value: str) -> Transaction:
+    rw_set = ReadWriteSet()
+    rw_set.add_write(key, value)
+    return Transaction(
+        tx_id=tx_id, channel="ch", chaincode="cc", function="set",
+        args=[key, value], rw_set=rw_set,
+    )
+
+
+# ----------------------------------------------------------------------- hashes
+@given(st.lists(payloads, max_size=20))
+def test_hash_chain_verify_roundtrip(items):
+    chain = HashChain()
+    for item in items:
+        chain.extend(item)
+    assert chain.verify(items)
+
+
+@given(st.lists(payloads, min_size=1, max_size=20), st.integers(min_value=0, max_value=19))
+def test_hash_chain_detects_any_single_mutation(items, index):
+    index = index % len(items)
+    chain = HashChain()
+    for item in items:
+        chain.extend(item)
+    mutated = list(items)
+    mutated[index] = mutated[index] + b"\x01"
+    assert not chain.verify(mutated)
+
+
+@given(st.lists(payloads, min_size=1, max_size=32))
+def test_merkle_proofs_verify_for_all_leaves(leaves):
+    tree = MerkleTree(leaves)
+    for index, leaf in enumerate(leaves):
+        assert MerkleTree.verify_proof(leaf, tree.proof(index), tree.root)
+
+
+@given(st.lists(payloads, min_size=2, max_size=16), st.integers(min_value=0, max_value=15))
+def test_merkle_proof_rejects_substituted_leaf(leaves, index):
+    index = index % len(leaves)
+    tree = MerkleTree(leaves)
+    substitute = leaves[index] + b"\xff"
+    assert not MerkleTree.verify_proof(substitute, tree.proof(index), tree.root)
+
+
+# ----------------------------------------------------------------- serialization
+@given(
+    st.recursive(
+        st.one_of(st.integers(), st.booleans(), st.text(max_size=20), st.none(),
+                  st.binary(max_size=32)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=8), children, max_size=4),
+        ),
+        max_leaves=16,
+    )
+)
+def test_canonical_json_roundtrip(value):
+    assert from_canonical_json(canonical_json(value)) == value
+
+
+@given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=8))
+def test_canonical_json_is_key_order_independent(mapping):
+    reordered = dict(reversed(list(mapping.items())))
+    assert canonical_json(mapping) == canonical_json(reordered)
+
+
+# ------------------------------------------------------------------- world state
+@given(st.lists(st.tuples(keys, st.text(max_size=8)), max_size=40))
+def test_world_state_last_write_wins(writes):
+    state = WorldState()
+    expected = {}
+    for position, (key, value) in enumerate(writes):
+        state.put(key, value, (0, position))
+        expected[key] = value
+    assert state.snapshot() == expected
+    for key, value in expected.items():
+        assert state.get_value(key) == value
+
+
+@given(st.lists(keys, min_size=1, max_size=30))
+def test_world_state_range_query_is_sorted_and_complete(key_list):
+    state = WorldState()
+    for position, key in enumerate(key_list):
+        state.put(key, "v", (0, position))
+    results = state.range_query("", "")
+    assert [key for key, _ in results] == sorted(set(key_list))
+
+
+# -------------------------------------------------------------------- block store
+@settings(max_examples=25)
+@given(st.lists(st.lists(st.tuples(keys, st.text(max_size=4)), min_size=1, max_size=4),
+                min_size=1, max_size=8))
+def test_block_store_chain_always_verifies(batches):
+    store = BlockStore()
+    counter = 0
+    for number, batch in enumerate(batches):
+        txs = []
+        for key, value in batch:
+            txs.append(make_tx(f"t{counter}", key, value))
+            counter += 1
+        store.append(Block.build(number, store.latest_hash, txs, timestamp=float(number)))
+    assert store.verify_chain()
+    assert store.height == len(batches)
+    assert store.total_transactions == counter
+
+
+# --------------------------------------------------------------------- resources
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                          st.floats(min_value=0, max_value=5)), max_size=40),
+       st.integers(min_value=1, max_value=4))
+def test_resource_reservations_never_overlap_per_slot(requests, concurrency):
+    resource = SimResource("cpu", concurrency=concurrency)
+    total = 0.0
+    last_starts = []
+    for requested_at, duration in requests:
+        reservation = resource.reserve(requested_at, duration)
+        assert reservation.start >= requested_at
+        assert reservation.end - reservation.start == pytest.approx(duration, abs=1e-9)
+        total += duration
+        last_starts.append(reservation.start)
+    assert resource.busy_time == pytest.approx(total, abs=1e-9)
+
+
+# ----------------------------------------------------------------------- policies
+@given(st.sets(st.sampled_from(["org1", "org2", "org3", "org4", "org5"]), max_size=5),
+       st.integers(min_value=1, max_value=5))
+def test_out_of_policy_threshold_semantics(signers, threshold):
+    orgs = ["org1", "org2", "org3", "org4", "org5"]
+    policy = OutOfPolicy(threshold, [SignaturePolicy(org) for org in orgs])
+    satisfied = policy.evaluate(signers)
+    assert satisfied == (len(signers & set(orgs)) >= threshold)
+
+
+# ---------------------------------------------------------------------- checksums
+@given(payloads, payloads)
+def test_checksum_equality_iff_payload_equality(a, b):
+    if a == b:
+        assert checksum_of(a) == checksum_of(b)
+    else:
+        assert checksum_of(a) != checksum_of(b)

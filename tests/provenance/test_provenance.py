@@ -1,0 +1,166 @@
+"""Tests for the OPM model, the provenance graph and lineage queries."""
+
+import pytest
+
+from repro.chaincode.records import ProvenanceRecord
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.hashing import checksum_of
+from repro.provenance.graph import ProvenanceGraph
+from repro.provenance.model import Agent, Artifact, OpmRelation, ProvProcess, RelationType
+from repro.provenance.queries import LineageQueryEngine
+
+
+def record_for(key, payload, dependencies=(), creator="client1", organization="org1"):
+    return ProvenanceRecord(
+        key=key,
+        checksum=checksum_of(payload),
+        location=f"ssh://storage/{key}",
+        creator=creator,
+        organization=organization,
+        certificate_fingerprint="fp",
+        dependencies=list(dependencies),
+        size_bytes=len(payload),
+    )
+
+
+@pytest.fixture
+def pipeline_graph():
+    """raw-a, raw-b -> merged -> report (a realistic derivation pipeline)."""
+    graph = ProvenanceGraph()
+    graph.ingest_record(record_for("raw-a", b"a"), tx_id="t1", block_number=0)
+    graph.ingest_record(record_for("raw-b", b"b", creator="client2"), tx_id="t2", block_number=0)
+    graph.ingest_record(
+        record_for("merged", b"ab", dependencies=["raw-a", "raw-b"]), tx_id="t3", block_number=1
+    )
+    graph.ingest_record(
+        record_for("report", b"summary", dependencies=["merged"]), tx_id="t4", block_number=2
+    )
+    return graph
+
+
+# ----------------------------------------------------------------------- model
+def test_artifact_version_id_is_stable():
+    assert Artifact.version_id("k", "a" * 64) == Artifact.version_id("k", "a" * 64)
+    assert Artifact.version_id("k", "a" * 64) != Artifact.version_id("k", "b" * 64)
+
+
+def test_process_and_agent_factories():
+    process = ProvProcess.for_transaction("tx-9", "set", timestamp=4.2)
+    agent = Agent.for_identity("client1", "org1", "fp")
+    assert process.process_id == "process:tx-9"
+    assert agent.agent_id == "agent:org1/client1"
+
+
+def test_relation_describe_mentions_both_ends():
+    relation = OpmRelation("a", "b", RelationType.USED)
+    assert "a" in relation.describe() and "b" in relation.describe()
+
+
+# ----------------------------------------------------------------------- graph
+def test_ingest_creates_nodes_and_edges(pipeline_graph):
+    assert len(pipeline_graph.artifacts()) == 4
+    assert len(pipeline_graph.processes()) == 4
+    assert len(pipeline_graph.agents()) == 2
+    assert pipeline_graph.edge_count > 0
+    assert pipeline_graph.is_acyclic()
+
+
+def test_ingest_rejects_missing_dependency():
+    graph = ProvenanceGraph()
+    with pytest.raises(ValidationError):
+        graph.ingest_record(
+            record_for("derived", b"x", dependencies=["never-recorded"]), tx_id="t1"
+        )
+
+
+def test_ingest_rejects_invalid_record():
+    graph = ProvenanceGraph()
+    bad = record_for("k", b"x")
+    bad.checksum = "short"
+    with pytest.raises(ValidationError):
+        graph.ingest_record(bad, tx_id="t1")
+
+
+def test_latest_artifact_tracks_newest_version():
+    graph = ProvenanceGraph()
+    graph.ingest_record(record_for("k", b"v1"), tx_id="t1")
+    graph.ingest_record(record_for("k", b"v2"), tx_id="t2")
+    assert graph.latest_artifact("k").checksum == checksum_of(b"v2")
+    with pytest.raises(NotFoundError):
+        graph.latest_artifact("ghost")
+
+
+def test_relation_queries(pipeline_graph):
+    merged = pipeline_graph.latest_artifact("merged")
+    generated_by = pipeline_graph.successors(merged.artifact_id, RelationType.WAS_GENERATED_BY)
+    assert len(generated_by) == 1
+    derived_from = pipeline_graph.successors(merged.artifact_id, RelationType.WAS_DERIVED_FROM)
+    assert len(derived_from) == 2
+
+
+def test_unknown_node_raises(pipeline_graph):
+    with pytest.raises(NotFoundError):
+        pipeline_graph.node("ghost")
+    with pytest.raises(NotFoundError):
+        pipeline_graph.add_relation(OpmRelation("ghost", "ghost2", RelationType.USED))
+
+
+# --------------------------------------------------------------------- queries
+def test_ancestors_of_report_cover_whole_pipeline(pipeline_graph):
+    engine = LineageQueryEngine(pipeline_graph)
+    ancestors = engine.ancestors_of("report")
+    keys = {a.key for a in ancestors}
+    assert keys == {"raw-a", "raw-b", "merged"}
+
+
+def test_ancestors_respect_max_depth(pipeline_graph):
+    engine = LineageQueryEngine(pipeline_graph)
+    shallow = engine.ancestors_of("report", max_depth=1)
+    assert {a.key for a in shallow} == {"merged"}
+
+
+def test_descendants_of_raw_input(pipeline_graph):
+    engine = LineageQueryEngine(pipeline_graph)
+    descendants = engine.descendants_of("raw-a")
+    assert {d.key for d in descendants} == {"merged", "report"}
+
+
+def test_derivation_path_exists_and_missing(pipeline_graph):
+    engine = LineageQueryEngine(pipeline_graph)
+    path = engine.derivation_path("report", "raw-a")
+    assert [a.key for a in path] == ["report", "merged", "raw-a"]
+    assert engine.derivation_path("raw-a", "report") == []
+
+
+def test_lineage_report_contents(pipeline_graph):
+    engine = LineageQueryEngine(pipeline_graph)
+    report = engine.lineage_report("report")
+    assert report.ancestor_count == 3
+    assert report.descendant_count == 0
+    assert report.depth == 2
+    assert "agent:org1/client1" in report.contributing_agents
+    assert "agent:org1/client2" in report.contributing_agents
+
+
+def test_version_chain_ordering():
+    graph = ProvenanceGraph()
+    graph.ingest_record(record_for("k", b"v1"), tx_id="t1")
+    record2 = record_for("k", b"v2")
+    record2.timestamp = 5.0
+    graph.ingest_record(record2, tx_id="t2")
+    engine = LineageQueryEngine(graph)
+    chain = engine.version_chain("k")
+    assert [a.checksum for a in chain] == [checksum_of(b"v1"), checksum_of(b"v2")]
+    with pytest.raises(NotFoundError):
+        engine.version_chain("ghost")
+
+
+def test_impact_set_groups_by_key(pipeline_graph):
+    engine = LineageQueryEngine(pipeline_graph)
+    impact = engine.impact_set("raw-a")
+    assert set(impact) == {"merged", "report"}
+
+
+def test_agents_for_key_only_includes_contributors(pipeline_graph):
+    engine = LineageQueryEngine(pipeline_graph)
+    assert engine.agents_for_key("raw-a") == ["agent:org1/client1"]

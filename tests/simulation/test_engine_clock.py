@@ -1,0 +1,154 @@
+"""Tests for the virtual clock and the discrete-event engine."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation.clock import VirtualClock
+from repro.simulation.engine import Process, SimulationEngine
+
+
+# ----------------------------------------------------------------------- clock
+def test_clock_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(SimulationError):
+        VirtualClock(-1.0)
+
+
+def test_clock_advance_by_and_to():
+    clock = VirtualClock()
+    clock.advance_by(1.5)
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_clock_cannot_rewind():
+    clock = VirtualClock(5.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(1.0)
+    with pytest.raises(SimulationError):
+        clock.advance_by(-1.0)
+
+
+# ---------------------------------------------------------------------- engine
+def test_events_run_in_timestamp_order():
+    engine = SimulationEngine()
+    order = []
+    engine.schedule_at(2.0, lambda: order.append("late"))
+    engine.schedule_at(1.0, lambda: order.append("early"))
+    engine.run_until_idle()
+    assert order == ["early", "late"]
+
+
+def test_ties_broken_by_insertion_order():
+    engine = SimulationEngine()
+    order = []
+    engine.schedule_at(1.0, lambda: order.append("first"))
+    engine.schedule_at(1.0, lambda: order.append("second"))
+    engine.run_until_idle()
+    assert order == ["first", "second"]
+
+
+def test_clock_advances_to_event_time():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule_at(4.5, lambda: seen.append(engine.now))
+    engine.run_until_idle()
+    assert seen == [4.5]
+    assert engine.now == 4.5
+
+
+def test_schedule_in_is_relative():
+    engine = SimulationEngine()
+    engine.schedule_at(2.0, lambda: engine.schedule_in(3.0, lambda: None))
+    engine.run_until_idle()
+    assert engine.now == 5.0
+
+
+def test_cannot_schedule_in_the_past():
+    engine = SimulationEngine()
+    engine.schedule_at(1.0, lambda: None)
+    engine.run_until_idle()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule_in(-1.0, lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    engine = SimulationEngine()
+    fired = []
+    event = engine.schedule_at(1.0, lambda: fired.append(1))
+    event.cancel()
+    engine.run_until_idle()
+    assert fired == []
+
+
+def test_run_until_horizon_advances_clock_to_horizon():
+    engine = SimulationEngine()
+    engine.schedule_at(1.0, lambda: None)
+    engine.run(until=10.0)
+    assert engine.now == 10.0
+
+
+def test_run_until_leaves_later_events_queued():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule_at(1.0, lambda: fired.append("a"))
+    engine.schedule_at(20.0, lambda: fired.append("b"))
+    engine.run(until=10.0)
+    assert fired == ["a"]
+    assert engine.pending_events == 1
+
+
+def test_run_until_idle_guards_against_runaway_rescheduling():
+    engine = SimulationEngine()
+
+    def reschedule():
+        engine.schedule_in(0.001, reschedule)
+
+    engine.schedule_in(0.0, reschedule)
+    with pytest.raises(SimulationError):
+        engine.run_until_idle(max_events=100)
+
+
+def test_processed_event_count():
+    engine = SimulationEngine()
+    for i in range(5):
+        engine.schedule_at(float(i), lambda: None)
+    engine.run_until_idle()
+    assert engine.processed_events == 5
+
+
+# --------------------------------------------------------------------- process
+def test_process_reschedules_until_body_returns_none():
+    engine = SimulationEngine()
+    ticks = []
+
+    def body(process):
+        ticks.append(engine.now)
+        return 1.0 if len(ticks) < 3 else None
+
+    Process(engine, body=body, label="ticker").start(delay=0.5)
+    engine.run_until_idle()
+    assert ticks == [0.5, 1.5, 2.5]
+
+
+def test_process_stop_prevents_future_activations():
+    engine = SimulationEngine()
+    ticks = []
+    process = Process(engine, body=lambda p: ticks.append(1) or 1.0)
+    process.start()
+    engine.run(until=2.5)
+    process.stop()
+    engine.run_until_idle()
+    assert len(ticks) <= 4
+
+
+def test_process_requires_body_or_override():
+    engine = SimulationEngine()
+    process = Process(engine)
+    with pytest.raises(NotImplementedError):
+        process.tick()

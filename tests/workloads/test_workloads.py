@@ -1,0 +1,130 @@
+"""Tests for payload generators, arrival processes and scenarios."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.arrivals import ClosedLoopSchedule, PoissonSchedule, merge_schedules
+from repro.workloads.payloads import (
+    ImagePayloadGenerator,
+    PayloadGenerator,
+    SensorReadingGenerator,
+)
+from repro.workloads.scenarios import IoTPipelineWorkload, PipelineStage
+
+
+# ------------------------------------------------------------------- payloads
+def test_payload_generator_produces_requested_size():
+    generator = PayloadGenerator(size_bytes=4096, seed=1)
+    item = generator.next_item()
+    assert item.size_bytes == 4096
+    assert len(item.checksum) == 64
+
+
+def test_payload_generator_items_are_unique():
+    generator = PayloadGenerator(size_bytes=128, seed=1)
+    checksums = {item.checksum for item in generator.items(20)}
+    assert len(checksums) == 20
+
+
+def test_payload_generator_is_deterministic():
+    a = [i.checksum for i in PayloadGenerator(256, seed=9).items(5)]
+    b = [i.checksum for i in PayloadGenerator(256, seed=9).items(5)]
+    assert a == b
+
+
+def test_payload_generator_rejects_negative_size():
+    with pytest.raises(ValueError):
+        PayloadGenerator(size_bytes=-1)
+
+
+def test_sensor_generator_emits_json_readings():
+    generator = SensorReadingGenerator(sensor_id="s7", seed=2)
+    item = generator.next_item()
+    reading = json.loads(item.data)
+    assert reading["sensor"] == "s7"
+    assert -20.0 <= reading["temperature_c"] <= 35.0
+    assert item.key.startswith("sensors/s7/")
+
+
+def test_image_generator_size_varies_around_target():
+    generator = ImagePayloadGenerator(size_bytes=100_000, size_jitter=0.2, seed=3)
+    sizes = [generator.next_item().size_bytes for _ in range(10)]
+    assert all(s > 0 for s in sizes)
+    assert len(set(sizes)) > 1
+    mean = sum(sizes) / len(sizes)
+    assert 50_000 < mean < 200_000
+
+
+# ------------------------------------------------------------------- arrivals
+def test_closed_loop_schedule_count_and_order():
+    schedule = ClosedLoopSchedule(total_requests=10, concurrency=2,
+                                  estimated_service_time_s=0.1)
+    times = list(schedule.arrival_times())
+    assert len(times) == 10
+    assert times == sorted(times)
+
+
+def test_closed_loop_validation():
+    with pytest.raises(ConfigurationError):
+        ClosedLoopSchedule(total_requests=0)
+    with pytest.raises(ConfigurationError):
+        ClosedLoopSchedule(total_requests=1, concurrency=0)
+
+
+def test_poisson_schedule_rate_and_bounds():
+    schedule = PoissonSchedule(rate_per_s=10.0, duration_s=100.0, seed=5)
+    times = list(schedule.arrival_times())
+    assert all(0.0 <= t < 100.0 for t in times)
+    assert times == sorted(times)
+    assert len(times) == pytest.approx(schedule.expected_count(), rel=0.2)
+
+
+def test_poisson_zero_rate_yields_nothing():
+    assert list(PoissonSchedule(0.0, 10.0).arrival_times()) == []
+
+
+def test_poisson_validation():
+    with pytest.raises(ConfigurationError):
+        PoissonSchedule(-1.0, 10.0)
+    with pytest.raises(ConfigurationError):
+        PoissonSchedule(1.0, 0.0)
+
+
+def test_merge_schedules_sorted():
+    merged = merge_schedules([
+        PoissonSchedule(1.0, 10.0, seed=1),
+        PoissonSchedule(2.0, 10.0, seed=2),
+    ])
+    assert merged == sorted(merged)
+
+
+# ------------------------------------------------------------------ scenarios
+def test_iot_pipeline_ingest_and_derive(desktop_deployment):
+    workload = IoTPipelineWorkload(
+        desktop_deployment.client, sensor_count=2, camera_count=1,
+        image_size_bytes=8 * 1024, seed=11,
+    )
+    posts = workload.ingest_round()
+    desktop_deployment.drain()
+    assert len(posts) == 3
+    assert all(p.handle.is_valid for p in posts)
+
+    derived = workload.derive(PipelineStage(name="hourly-summary"))
+    desktop_deployment.drain()
+    assert derived.handle.is_valid
+    assert sorted(derived.record.dependencies) == sorted(p.record.key for p in posts)
+
+    lineage = desktop_deployment.client.get_lineage(derived.record.key)
+    assert lineage.ancestor_count == 3
+
+    checks = workload.verify_all()
+    assert all(checks.values())
+    assert workload.total_items == 4
+
+
+def test_iot_pipeline_derive_requires_sources(desktop_deployment):
+    workload = IoTPipelineWorkload(desktop_deployment.client, sensor_count=1, camera_count=0)
+    with pytest.raises(ValueError):
+        workload.derive(PipelineStage(name="empty"), source_posts=[])
