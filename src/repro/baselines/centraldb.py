@@ -13,10 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.baselines.pipeline_support import PipelinedStoreMixin
 from repro.chaincode.records import ProvenanceRecord
 from repro.common.errors import NotFoundError
 from repro.common.hashing import checksum_of
+from repro.common.metrics import MetricsRegistry
 from repro.devices.model import DeviceModel
+from repro.middleware.config import PipelineConfig
+from repro.middleware.context import OperationKind
 from repro.network.fabric import NetworkFabric
 
 
@@ -29,8 +33,10 @@ class CentralStoreResult:
     completed_at: float
 
 
-class CentralProvenanceDatabase:
+class CentralProvenanceDatabase(PipelinedStoreMixin):
     """Single-server provenance store with request/response over the network."""
+
+    chaincode_label = "centraldb"
 
     def __init__(
         self,
@@ -38,6 +44,8 @@ class CentralProvenanceDatabase:
         network: Optional[NetworkFabric] = None,
         server_node: str = "provdb",
         request_overhead_s: float = 0.0015,
+        pipeline_config: Optional[PipelineConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.server_device = server_device
         self.network = network
@@ -46,6 +54,7 @@ class CentralProvenanceDatabase:
         self._records: Dict[str, List[ProvenanceRecord]] = {}
         if network is not None and server_node not in network.nodes:
             network.register_node(server_node, profile=server_device.profile.nic)
+        self._init_pipeline(pipeline_config, metrics, "baseline.centraldb")
 
     # ------------------------------------------------------------------ write
     def store_record(
@@ -56,6 +65,23 @@ class CentralProvenanceDatabase:
         payload_bytes: int = 0,
     ) -> CentralStoreResult:
         """Store a provenance record; costs one round trip plus a disk write."""
+        return self._execute(
+            "store_record",
+            OperationKind.WRITE,
+            [record.key],
+            record=record,
+            at_time=at_time,
+            client_node=client_node,
+            payload_bytes=payload_bytes,
+        )
+
+    def _store_record_impl(
+        self,
+        record: ProvenanceRecord,
+        at_time: float = 0.0,
+        client_node: Optional[str] = None,
+        payload_bytes: int = 0,
+    ) -> CentralStoreResult:
         record.validate()
         cursor = at_time + self.request_overhead_s
         if self.network is not None and client_node is not None:
@@ -65,6 +91,7 @@ class CentralProvenanceDatabase:
         write = self.server_device.disk_write_time(payload_bytes + len(record.to_json()))
         _, cursor = self.server_device.occupy("disk", cursor, write, label="provdb-write")
         self._records.setdefault(record.key, []).append(record)
+        self._invalidate_cached_reads(record.key)
         return CentralStoreResult(record=record, latency_s=cursor - at_time, completed_at=cursor)
 
     def store_data(
@@ -93,12 +120,18 @@ class CentralProvenanceDatabase:
 
     # ------------------------------------------------------------------- read
     def get(self, key: str) -> ProvenanceRecord:
+        return self._execute("get", OperationKind.READ, [key])
+
+    def _get_impl(self, key: str) -> ProvenanceRecord:
         history = self._records.get(key)
         if not history:
             raise NotFoundError(f"key {key!r} not present in the central database")
         return history[-1]
 
     def history(self, key: str) -> List[ProvenanceRecord]:
+        return self._execute("history", OperationKind.READ, [key])
+
+    def _history_impl(self, key: str) -> List[ProvenanceRecord]:
         return list(self._records.get(key, []))
 
     @property

@@ -12,11 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.baselines.pipeline_support import PipelinedStoreMixin
 from repro.chaincode.records import ProvenanceRecord
 from repro.common.errors import NotFoundError, ValidationError
 from repro.common.hashing import HashChain, checksum_of
+from repro.common.metrics import MetricsRegistry
 from repro.consensus.pow import ProofOfWorkEngine
 from repro.devices.model import DeviceModel
+from repro.middleware.config import PipelineConfig
+from repro.middleware.context import OperationKind
 from repro.simulation.randomness import DeterministicRandom
 
 
@@ -40,14 +44,18 @@ class PowStoreResult:
     latency_s: float
 
 
-class PowProvenanceChain:
+class PowProvenanceChain(PipelinedStoreMixin):
     """A single-miner Proof-of-Work provenance ledger."""
+
+    chaincode_label = "provchain"
 
     def __init__(
         self,
         miner_device: DeviceModel,
         difficulty_bits: int = 20,
         rng: Optional[DeterministicRandom] = None,
+        pipeline_config: Optional[PipelineConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.miner_device = miner_device
         self.engine = ProofOfWorkEngine(
@@ -56,10 +64,17 @@ class PowProvenanceChain:
         self._chain = HashChain()
         self._entries: List[PowChainEntry] = []
         self._latest_by_key: Dict[str, int] = {}
+        self._init_pipeline(pipeline_config, metrics, "baseline.provchain")
 
     # ------------------------------------------------------------------ write
     def store_record(self, record: ProvenanceRecord, at_time: float = 0.0) -> PowStoreResult:
         """Mine a block anchoring ``record``; the miner CPU is busy throughout."""
+        return self._execute(
+            "store_record", OperationKind.WRITE, [record.key],
+            record=record, at_time=at_time,
+        )
+
+    def _store_record_impl(self, record: ProvenanceRecord, at_time: float = 0.0) -> PowStoreResult:
         record.validate()
         # All cores search in parallel, so the wall-clock mining time shrinks
         # by the core count but the whole CPU is pegged for its duration —
@@ -81,6 +96,7 @@ class PowProvenanceChain:
         )
         self._entries.append(entry)
         self._latest_by_key[record.key] = entry.index
+        self._invalidate_cached_reads(record.key)
         return PowStoreResult(entry=entry, latency_s=end - at_time)
 
     def store_data(
@@ -102,12 +118,18 @@ class PowProvenanceChain:
 
     # ------------------------------------------------------------------- read
     def get(self, key: str) -> PowChainEntry:
+        return self._execute("get", OperationKind.READ, [key])
+
+    def _get_impl(self, key: str) -> PowChainEntry:
         index = self._latest_by_key.get(key)
         if index is None:
             raise NotFoundError(f"key {key!r} not recorded on the PoW chain")
         return self._entries[index]
 
     def history(self, key: str) -> List[PowChainEntry]:
+        return self._execute("history", OperationKind.READ, [key])
+
+    def _history_impl(self, key: str) -> List[PowChainEntry]:
         return [entry for entry in self._entries if entry.record.key == key]
 
     @property

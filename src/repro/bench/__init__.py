@@ -12,6 +12,7 @@ Module           Reproduces
 ``baseline_compare`` HyperProv vs ProvChain-PoW vs centralized DB
 ``ablation_batch``   Orderer batch-size sweep
 ``ablation_consensus``  Solo vs Raft ordering
+``ablation_cache``   Read-cache middleware on/off (repeated-get latency)
 ===============  ==========================================================
 
 Run ``python -m repro.bench <experiment>`` or use the pytest-benchmark
@@ -26,6 +27,7 @@ from repro.bench.fig3_energy import run_fig3
 from repro.bench.ops_table import run_ops_table
 from repro.bench.baseline_compare import run_baseline_comparison
 from repro.bench.ablation_batch import run_batch_ablation
+from repro.bench.ablation_cache import run_cache_ablation
 from repro.bench.ablation_consensus import run_consensus_ablation
 from repro.bench.ablation_fastfabric import run_fastfabric_ablation
 from repro.bench.resource_usage import run_resource_usage
@@ -43,6 +45,7 @@ __all__ = [
     "run_ops_table",
     "run_baseline_comparison",
     "run_batch_ablation",
+    "run_cache_ablation",
     "run_consensus_ablation",
     "run_fastfabric_ablation",
     "run_resource_usage",

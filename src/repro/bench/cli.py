@@ -9,6 +9,7 @@ from typing import Callable, Dict, List, Optional
 from repro.bench import (
     run_baseline_comparison,
     run_batch_ablation,
+    run_cache_ablation,
     run_consensus_ablation,
     run_fastfabric_ablation,
     run_fig1,
@@ -17,18 +18,54 @@ from repro.bench import (
     run_ops_table,
     run_resource_usage,
 )
+from repro.bench.ops_table import stage_table as ops_stage_table
 from repro.bench.ops_table import to_table as ops_to_table
+from repro.middleware.config import PipelineConfig
+
+
+def _positive_int(value: str) -> int:
+    """argparse type: an integer >= 1 (rejects 0/-1 with a clean CLI error)."""
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {parsed}")
+    return parsed
+
+
+def _pipeline_config(args: argparse.Namespace) -> Optional[PipelineConfig]:
+    """Build the declarative pipeline config the CLI flags describe.
+
+    Returns ``None`` when every flag is at its default so experiments keep
+    the deployment's stock pipeline (byte-for-byte the unmodified path).
+    """
+    if not (args.cache or args.retry_attempts > 1 or args.order_batch > 1):
+        return None
+    return PipelineConfig(
+        cache=args.cache,
+        retry_attempts=args.retry_attempts,
+        order_batch_size=args.order_batch,
+    )
+
+
+def _note_read_only_flags(args: argparse.Namespace, table) -> None:
+    """Flag middlewares that cannot affect a write-only StoreData workload."""
+    if args.cache or args.retry_attempts > 1:
+        table.add_note(
+            "--cache/--retry-attempts act on the read path; this workload is "
+            "write-only, so they do not change its numbers (see ablation-cache)"
+        )
 
 
 def _run_fig1(args: argparse.Namespace) -> str:
-    series = run_fig1(requests_per_size=args.requests)
+    series = run_fig1(requests_per_size=args.requests, pipeline=_pipeline_config(args))
     table = series.to_table("Fig. 1 — desktop: throughput and response time vs data size")
+    _note_read_only_flags(args, table)
     return table.render()
 
 
 def _run_fig2(args: argparse.Namespace) -> str:
-    series = run_fig2(requests_per_size=args.requests)
+    series = run_fig2(requests_per_size=args.requests, pipeline=_pipeline_config(args))
     table = series.to_table("Fig. 2 — RPi: throughput and response time vs data size")
+    _note_read_only_flags(args, table)
     return table.render()
 
 
@@ -39,7 +76,9 @@ def _run_fig3(args: argparse.Namespace) -> str:
 
 def _run_ops(args: argparse.Namespace) -> str:
     results = run_ops_table(repeats=max(2, args.requests // 10))
-    return ops_to_table(results).render()
+    return "\n\n".join(
+        [ops_to_table(results).render(), ops_stage_table(results).render()]
+    )
 
 
 def _run_baselines(args: argparse.Namespace) -> str:
@@ -49,6 +88,10 @@ def _run_baselines(args: argparse.Namespace) -> str:
 
 def _run_batch(args: argparse.Namespace) -> str:
     return run_batch_ablation(requests=args.requests).to_table().render()
+
+
+def _run_cache(args: argparse.Namespace) -> str:
+    return run_cache_ablation().to_table().render()
 
 
 def _run_consensus(args: argparse.Namespace) -> str:
@@ -74,6 +117,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "ops": _run_ops,
     "baselines": _run_baselines,
     "ablation-batch": _run_batch,
+    "ablation-cache": _run_cache,
     "ablation-consensus": _run_consensus,
     "ablation-fastfabric": _run_fastfabric,
     "resources": _run_resources,
@@ -98,6 +142,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--interval", type=float, default=600.0,
         help="energy measurement interval in virtual seconds (default: 600)",
+    )
+    pipeline = parser.add_argument_group(
+        "pipeline", "middleware configuration applied to fig1/fig2 runs"
+    )
+    pipeline.add_argument(
+        "--cache", action="store_true",
+        help="enable the read-cache middleware (commit-event invalidated)",
+    )
+    pipeline.add_argument(
+        "--retry-attempts", type=_positive_int, default=1,
+        help="total attempts per read operation via the retry middleware "
+             "(default: 1; writes complete asynchronously through handles — "
+             "endorsement failures surface as invalidated handles, not "
+             "retryable exceptions)",
+    )
+    pipeline.add_argument(
+        "--order-batch", type=_positive_int, default=1,
+        help="endorsed envelopes coalesced per orderer submission (default: 1)",
     )
     return parser
 

@@ -21,6 +21,7 @@ from repro.bench.fig1_throughput import FigureSeries, run_fig1
 from repro.bench.fig2_rpi import run_fig2
 from repro.bench.fig3_energy import EnergyFigure, run_fig3
 from repro.bench.ops_table import OperatorLatencies, run_ops_table
+from repro.middleware.metrics import STAGES
 
 
 def figure_series_rows(series: FigureSeries) -> List[Dict[str, object]]:
@@ -55,6 +56,27 @@ def ops_rows(results: List[OperatorLatencies]) -> List[Dict[str, object]]:
     for result in results:
         for operator, latency in sorted(result.latencies_s.items()):
             rows.append({"setup": result.setup, "operator": operator, "latency_s": latency})
+    return rows
+
+
+def stage_rows(results: List[OperatorLatencies]) -> List[Dict[str, object]]:
+    """Per-stage write-path latency (endorse/order/commit) per setup.
+
+    Recorded by the pipeline's metrics middleware, so the ops benchmark can
+    attribute where transaction time goes rather than only reporting the
+    end-to-end number.
+    """
+    rows = []
+    for result in results:
+        for stage in STAGES:
+            if stage in result.stages_s:
+                rows.append(
+                    {
+                        "setup": result.setup,
+                        "stage": stage,
+                        "mean_latency_s": result.stages_s[stage],
+                    }
+                )
     return rows
 
 
@@ -95,6 +117,11 @@ def export_all(
 
     ops = run_ops_table(repeats=3, seed=seed)
     written["ops"] = str(write_csv(out_dir / "ops_table.csv", ops_rows(ops)))
+    breakdown = stage_rows(ops)
+    if breakdown:
+        written["ops_stages"] = str(
+            write_csv(out_dir / "ops_stage_breakdown.csv", breakdown)
+        )
 
     manifest = {
         "seed": seed,

@@ -16,6 +16,7 @@ from repro.bench.reporting import ResultTable, format_bytes, format_seconds
 from repro.bench.runner import RunConfig, RunResult, StoreDataRunner
 from repro.consensus.batching import BatchConfig
 from repro.core.topology import build_desktop_deployment
+from repro.middleware.config import PipelineConfig
 
 #: Data item sizes swept by the figure (1 KiB … 4 MiB).
 DEFAULT_SIZES: Sequence[int] = (
@@ -78,18 +79,26 @@ def run_fig1(
     requests_per_size: int = 30,
     batch_config: Optional[BatchConfig] = None,
     seed: int = 42,
+    pipeline: Optional[PipelineConfig] = None,
 ) -> FigureSeries:
     """Reproduce Fig. 1 on the simulated desktop testbed.
 
     A fresh deployment is built per data size so runs are independent
     (matching how the paper reports one measurement series per size).
+    ``pipeline`` optionally swaps the client's middleware configuration for
+    ablations (cache, retry, endorsement batching).
     """
     series = FigureSeries(setup="desktop")
     for size in sizes:
         deployment = build_desktop_deployment(batch_config=batch_config, seed=seed)
         runner = StoreDataRunner(deployment)
         result = runner.run(
-            RunConfig(data_size_bytes=size, request_count=requests_per_size, seed=seed)
+            RunConfig(
+                data_size_bytes=size,
+                request_count=requests_per_size,
+                seed=seed,
+                pipeline=pipeline,
+            )
         )
         series.results.append(result)
     return series

@@ -14,6 +14,7 @@ from repro.bench.fig1_throughput import DEFAULT_SIZES, FigureSeries
 from repro.bench.runner import RunConfig, StoreDataRunner
 from repro.consensus.batching import BatchConfig
 from repro.core.topology import build_rpi_deployment
+from repro.middleware.config import PipelineConfig
 
 #: The RPi sweep uses the same sizes; large items simply take longer.
 RPI_SIZES: Sequence[int] = DEFAULT_SIZES
@@ -24,6 +25,7 @@ def run_fig2(
     requests_per_size: int = 20,
     batch_config: Optional[BatchConfig] = None,
     seed: int = 42,
+    pipeline: Optional[PipelineConfig] = None,
 ) -> FigureSeries:
     """Reproduce Fig. 2 on the simulated Raspberry Pi testbed."""
     series = FigureSeries(setup="rpi")
@@ -31,7 +33,12 @@ def run_fig2(
         deployment = build_rpi_deployment(batch_config=batch_config, seed=seed)
         runner = StoreDataRunner(deployment)
         result = runner.run(
-            RunConfig(data_size_bytes=size, request_count=requests_per_size, seed=seed)
+            RunConfig(
+                data_size_bytes=size,
+                request_count=requests_per_size,
+                seed=seed,
+                pipeline=pipeline,
+            )
         )
         series.results.append(result)
     return series

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.bench.reporting import ResultTable, format_seconds
+from repro.middleware.metrics import STAGES
 from repro.core.topology import (
     HyperProvDeployment,
     build_desktop_deployment,
@@ -26,6 +27,9 @@ class OperatorLatencies:
 
     setup: str
     latencies_s: Dict[str, float] = field(default_factory=dict)
+    #: Mean write-path latency attributed to each pipeline stage
+    #: (``endorse`` / ``order`` / ``commit``), from the metrics middleware.
+    stages_s: Dict[str, float] = field(default_factory=dict)
 
 
 def _measure_setup(deployment: HyperProvDeployment, payload_bytes: int, repeats: int,
@@ -72,7 +76,21 @@ def _measure_setup(deployment: HyperProvDeployment, payload_bytes: int, repeats:
         op: (sum(values) / len(values) if values else float("nan"))
         for op, values in latencies.items()
     }
-    return OperatorLatencies(setup=deployment.spec.name, latencies_s=means)
+    return OperatorLatencies(
+        setup=deployment.spec.name,
+        latencies_s=means,
+        stages_s=collect_stage_breakdown(client.metrics),
+    )
+
+
+def collect_stage_breakdown(registry) -> Dict[str, float]:
+    """Mean endorse/order/commit durations the metrics middleware recorded."""
+    breakdown: Dict[str, float] = {}
+    for stage, stage_metric in STAGES.items():
+        histogram = registry.get_histogram(stage_metric)
+        if histogram is not None and histogram.count:
+            breakdown[stage] = histogram.mean
+    return breakdown
 
 
 def run_ops_table(payload_bytes: int = 1024, repeats: int = 5, seed: int = 42
@@ -98,9 +116,31 @@ def to_table(results: List[OperatorLatencies]) -> ResultTable:
     return table
 
 
+def stage_table(results: List[OperatorLatencies]) -> ResultTable:
+    """Render where write-path time goes: endorse vs. order vs. commit."""
+    stages = list(STAGES)
+    table = ResultTable(
+        title="Write-path latency breakdown by pipeline stage",
+        columns=["stage"] + [result.setup for result in results],
+    )
+    for stage in stages:
+        table.add_row(
+            stage,
+            *[format_seconds(result.stages_s.get(stage, float("nan")))
+              for result in results],
+        )
+    table.add_note(
+        "endorse = proposal round trip; order = envelope transfer + queueing; "
+        "commit = block cut, delivery, validation and commit notify"
+    )
+    return table
+
+
 def main() -> None:  # pragma: no cover - CLI convenience
     results = run_ops_table()
     print(to_table(results).render())
+    print()
+    print(stage_table(results).render())
 
 
 if __name__ == "__main__":  # pragma: no cover

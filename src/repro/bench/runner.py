@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.core.topology import HyperProvDeployment
 from repro.fabric.proposal import TransactionHandle
+from repro.middleware.config import PipelineConfig
 from repro.workloads.payloads import DataItem, PayloadGenerator
 
 
@@ -31,6 +32,10 @@ class RunConfig:
     concurrency: int = 16
     key_prefix: str = "bench"
     seed: int = 42
+    #: Declarative middleware configuration applied to the deployment's
+    #: client (and the fabric's endorsement batcher) before the run; ``None``
+    #: keeps whatever pipeline the client already has.
+    pipeline: Optional[PipelineConfig] = None
 
 
 @dataclass
@@ -118,6 +123,8 @@ class StoreDataRunner:
         """Execute one closed-loop measurement run."""
         deployment = self.deployment
         engine = deployment.engine
+        if config.pipeline is not None:
+            deployment.client.configure_pipeline(config.pipeline)
         generator = PayloadGenerator(
             size_bytes=config.data_size_bytes,
             seed=config.seed,

@@ -37,8 +37,12 @@ from repro.common.errors import (
 from repro.common.hashing import checksum_of
 from repro.common.metrics import MetricsRegistry
 from repro.fabric.network import FabricNetwork
-from repro.fabric.proposal import TransactionHandle
+from repro.fabric.proposal import ProposalResponse, TransactionHandle
 from repro.ledger.history import HistoryEntry
+from repro.middleware.base import TransactionPipeline
+from repro.middleware.cache import ReadCacheMiddleware
+from repro.middleware.config import PipelineConfig, build_client_pipeline
+from repro.middleware.context import Context, OperationKind
 from repro.provenance.graph import ProvenanceGraph
 from repro.provenance.queries import LineageQueryEngine, LineageReport
 from repro.storage.base import StorageReceipt
@@ -91,6 +95,7 @@ class HyperProvClient:
         storage: Optional[ContentAddressedStore] = None,
         chaincode_name: str = "hyperprov",
         metrics: Optional[MetricsRegistry] = None,
+        pipeline_config: Optional[PipelineConfig] = None,
     ) -> None:
         self.network = network
         self.client_name = client_name
@@ -98,6 +103,94 @@ class HyperProvClient:
         self.chaincode_name = chaincode_name
         self.metrics = metrics or MetricsRegistry(f"client.{client_name}")
         self._context = network.client_context(client_name)
+        self.pipeline_config = pipeline_config or PipelineConfig()
+        self.pipeline: TransactionPipeline = self._build_pipeline(self.pipeline_config)
+
+    # -------------------------------------------------------------- pipeline
+    def _build_pipeline(self, config: PipelineConfig) -> TransactionPipeline:
+        return build_client_pipeline(
+            config,
+            self._dispatch,
+            clock=lambda: self.network.engine.now,
+            events=self.network.events,
+            metrics=self.metrics,
+        )
+
+    def configure_pipeline(self, config: PipelineConfig) -> None:
+        """Swap the middleware chain (ablations: cache on/off, retry, batching).
+
+        Also applies the config's ``order_batch_size`` to the Fabric
+        network's endorsement batcher so one declarative object describes
+        the whole path.
+        """
+        self.pipeline.close()
+        self.pipeline_config = config
+        self.pipeline = self._build_pipeline(config)
+        self.network.set_order_batch_size(config.order_batch_size)
+
+    @property
+    def read_cache(self) -> Optional[ReadCacheMiddleware]:
+        """The read-cache middleware, when the config enables it."""
+        return self.pipeline.find(ReadCacheMiddleware)
+
+    def _dispatch(self, ctx: Context):
+        """Terminal pipeline handler: hand the operation to the network."""
+        if ctx.is_read:
+            return self.network.query(
+                self.client_name,
+                ctx.chaincode,
+                ctx.function,
+                ctx.args,
+                at_time=ctx.at_time,
+            )
+        return self.network.submit_transaction(
+            self.client_name,
+            ctx.chaincode,
+            ctx.function,
+            ctx.args,
+            at_time=ctx.at_time,
+            payload_size_bytes=ctx.payload_size_bytes,
+        )
+
+    def _query(
+        self,
+        operation: str,
+        function: str,
+        args: List[str],
+        at_time: Optional[float] = None,
+    ) -> "tuple[ProposalResponse, float]":
+        """Run a read-only operator through the pipeline."""
+        ctx = Context(
+            operation=operation,
+            kind=OperationKind.READ,
+            chaincode=self.chaincode_name,
+            function=function,
+            args=list(args),
+            client_name=self.client_name,
+            at_time=at_time,
+        )
+        return self.pipeline.execute(ctx)
+
+    def _invoke(
+        self,
+        operation: str,
+        function: str,
+        args: List[str],
+        payload_size_bytes: int = 0,
+        at_time: Optional[float] = None,
+    ) -> TransactionHandle:
+        """Run a state-changing operator through the pipeline."""
+        ctx = Context(
+            operation=operation,
+            kind=OperationKind.WRITE,
+            chaincode=self.chaincode_name,
+            function=function,
+            args=list(args),
+            client_name=self.client_name,
+            payload_size_bytes=payload_size_bytes,
+            at_time=at_time,
+        )
+        return self.pipeline.execute(ctx)
 
     # ------------------------------------------------------------------ init
     def init(self) -> bool:
@@ -123,6 +216,29 @@ class HyperProvClient:
         at_time: Optional[float] = None,
     ) -> PostResult:
         """Record provenance metadata for a data item already stored elsewhere."""
+        return self._post(
+            "post",
+            key=key,
+            checksum=checksum,
+            location=location,
+            dependencies=dependencies,
+            metadata=metadata,
+            size_bytes=size_bytes,
+            at_time=at_time,
+        )
+
+    def _post(
+        self,
+        operation: str,
+        key: str,
+        checksum: str,
+        location: str,
+        dependencies: Optional[List[str]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        size_bytes: int = 0,
+        at_time: Optional[float] = None,
+    ) -> PostResult:
+        """Shared ``set``-invoke body; ``operation`` labels metrics/traces."""
         dependencies = dependencies or []
         metadata = metadata or {}
         args = [
@@ -133,13 +249,7 @@ class HyperProvClient:
             json.dumps(metadata, sort_keys=True),
             str(size_bytes),
         ]
-        handle = self.network.submit_transaction(
-            self.client_name,
-            self.chaincode_name,
-            "set",
-            args,
-            at_time=at_time,
-        )
+        handle = self._invoke(operation, "set", args, at_time=at_time)
         record = ProvenanceRecord(
             key=key,
             checksum=checksum,
@@ -157,9 +267,7 @@ class HyperProvClient:
     # ------------------------------------------------------------------- get
     def get(self, key: str, at_time: Optional[float] = None) -> QueryResult:
         """Latest provenance record for ``key``."""
-        response, latency = self.network.query(
-            self.client_name, self.chaincode_name, "get", [key], at_time=at_time
-        )
+        response, latency = self._query("get", "get", [key], at_time=at_time)
         if not response.is_ok or response.payload is None:
             raise NotFoundError(response.message or f"key {key!r} not found")
         self.metrics.histogram("get_latency_s").observe(latency)
@@ -167,8 +275,8 @@ class HyperProvClient:
 
     def get_key_history(self, key: str, at_time: Optional[float] = None) -> QueryResult:
         """Every recorded version of ``key`` (oldest first)."""
-        response, latency = self.network.query(
-            self.client_name, self.chaincode_name, "getkeyhistory", [key], at_time=at_time
+        response, latency = self._query(
+            "get_key_history", "getkeyhistory", [key], at_time=at_time
         )
         if not response.is_ok or response.payload is None:
             raise NotFoundError(response.message or f"no history for key {key!r}")
@@ -199,12 +307,8 @@ class HyperProvClient:
             checksum = checksum_of(data_or_checksum)
         else:
             checksum = str(data_or_checksum)
-        response, latency = self.network.query(
-            self.client_name,
-            self.chaincode_name,
-            "checkhash",
-            [key, checksum],
-            at_time=at_time,
+        response, latency = self._query(
+            "check_hash", "checkhash", [key, checksum], at_time=at_time
         )
         if not response.is_ok or response.payload is None:
             raise NotFoundError(response.message or f"key {key!r} not found")
@@ -213,8 +317,8 @@ class HyperProvClient:
 
     def get_dependencies(self, key: str, at_time: Optional[float] = None) -> QueryResult:
         """Dependency list of the latest record for ``key``."""
-        response, latency = self.network.query(
-            self.client_name, self.chaincode_name, "getdependencies", [key], at_time=at_time
+        response, latency = self._query(
+            "get_dependencies", "getdependencies", [key], at_time=at_time
         )
         if not response.is_ok or response.payload is None:
             raise NotFoundError(response.message or f"key {key!r} not found")
@@ -228,11 +332,8 @@ class HyperProvClient:
         Examples: ``{"creator": "camera-gw"}``, ``{"organization": "org2"}``,
         ``{"metadata.station": "tromso-01"}``, ``{"dependencies": "raw/a"}``.
         """
-        response, latency = self.network.query(
-            self.client_name,
-            self.chaincode_name,
-            "query",
-            [json.dumps(selector, sort_keys=True)],
+        response, latency = self._query(
+            "query_records", "query", [json.dumps(selector, sort_keys=True)],
             at_time=at_time,
         )
         if not response.is_ok or response.payload is None:
@@ -268,12 +369,8 @@ class HyperProvClient:
         self, start_key: str = "", end_key: str = "", at_time: Optional[float] = None
     ) -> QueryResult:
         """Provenance records in a key range."""
-        response, latency = self.network.query(
-            self.client_name,
-            self.chaincode_name,
-            "getbyrange",
-            [start_key, end_key],
-            at_time=at_time,
+        response, latency = self._query(
+            "get_by_range", "getbyrange", [start_key, end_key], at_time=at_time
         )
         if not response.is_ok or response.payload is None:
             raise ChaincodeError(response.message or "range query failed")
@@ -310,7 +407,8 @@ class HyperProvClient:
         storage = self._require_storage()
         start = self.network.engine.now if at_time is None else at_time
         receipt = self._store_payload(storage, data, start)
-        post = self.post(
+        post = self._post(
+            "store_data",
             key=key,
             checksum=receipt.checksum,
             location=receipt.location,

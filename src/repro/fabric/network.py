@@ -30,6 +30,16 @@ from repro.fabric.proposal import Proposal, ProposalResponse, TransactionHandle
 from repro.ledger.block import Block
 from repro.ledger.transaction import Transaction, TxValidationCode
 from repro.membership.identity import Identity
+from repro.middleware.base import TransactionPipeline
+from repro.middleware.batching import EndorsementBatcher
+from repro.middleware.context import Context, OperationKind
+from repro.middleware.stages import (
+    AwaitCommitStage,
+    BuildProposalStage,
+    CollectEndorsementsStage,
+    InvokeState,
+    SubmitToOrdererStage,
+)
 from repro.network.fabric import NetworkFabric
 from repro.simulation.engine import SimulationEngine
 
@@ -45,6 +55,9 @@ class FabricNetworkConfig:
     endorsing_peers: Optional[List[str]] = None
     #: Extra fixed client-side latency per request (SDK/GRPC overhead), seconds.
     client_overhead_s: float = 0.002
+    #: Endorsed envelopes coalesced into one orderer submission (1 = off,
+    #: reproducing the unbatched per-transaction transfer exactly).
+    order_batch_size: int = 1
 
 
 @dataclass
@@ -94,6 +107,21 @@ class FabricNetwork:
         self._ordered_blocks: List[Block] = []
         if orderer_node not in self.network.nodes:
             self.network.register_node(orderer_node)
+        #: The client→endorse→order→commit path as discrete pipeline stages.
+        self.order_batcher = EndorsementBatcher(
+            batch_size=self.config.order_batch_size, metrics=self.metrics
+        )
+        self.order_batcher.bind(self)
+        self.invoke_pipeline = TransactionPipeline(
+            [
+                BuildProposalStage(self),
+                CollectEndorsementsStage(self),
+                self.order_batcher,
+                SubmitToOrdererStage(self),
+                AwaitCommitStage(self),
+            ],
+            terminal=lambda ctx: ctx.tags["invoke"].handle,
+        )
 
     # ------------------------------------------------------------- topology
     def add_peer(self, peer: Peer) -> None:
@@ -234,76 +262,38 @@ class FabricNetwork:
         handle: TransactionHandle,
         payload_size_bytes: int,
     ) -> None:
-        start = max(handle.submitted_at, self.engine.now)
-        proposal = self._build_proposal(
-            context, handle, chaincode, function, args, payload_size_bytes
-        )
+        """Run one invoke through the staged pipeline.
 
-        # Client-side preparation: marshal + sign.
-        prep = (
-            context.device.sign_time()
-            + context.device.serialization_time(proposal.size_bytes)
-            + self.config.client_overhead_s
-        )
-        _, prep_done = context.device.charge_cpu(start, prep, label=f"prepare:{handle.tx_id}")
-
-        # Phase 1: endorsement on every endorsing peer (in parallel).
-        responses, endorsement_done = self._collect_endorsements(
-            context, proposal, prep_done
-        )
-        handle.endorsed_at = endorsement_done
-        handle.timings["endorsement_s"] = endorsement_done - start
-
-        ok_responses = [r for r in responses if r.is_ok]
-        if not ok_responses:
-            message = responses[0].message if responses else "no endorsing peers reachable"
-            handle.response_payload = None
-            handle.complete(endorsement_done, TxValidationCode.ENDORSEMENT_POLICY_FAILURE)
-            self.metrics.counter("endorsement_failures").inc()
-            self.events.publish(
-                "endorsement_failed", {"tx_id": handle.tx_id, "message": message}
-            )
-            return
-
-        # Fabric requires all endorsements to agree on the read/write set.
-        reference = ok_responses[0].rw_set.digest()
-        consistent = [r for r in ok_responses if r.rw_set.digest() == reference]
-
-        handle.response_payload = consistent[0].payload
-
-        # Client verifies endorsements and assembles the envelope.
-        assemble = context.device.verify_time(len(consistent)) + context.device.sign_time()
-        _, assembled_at = context.device.charge_cpu(
-            endorsement_done, assemble, label=f"assemble:{handle.tx_id}"
-        )
-
-        transaction = Transaction(
-            tx_id=handle.tx_id,
-            channel=self.channel.name,
+        The phases (build-proposal → collect-endorsements → submit-to-orderer
+        → await-commit) live in :mod:`repro.middleware.stages`; this wrapper
+        only assembles the pipeline context.
+        """
+        ctx = Context(
+            operation=function,
+            kind=OperationKind.WRITE,
             chaincode=chaincode,
             function=function,
             args=list(args),
-            rw_set=consistent[0].rw_set,
-            endorsements=[r.endorsement for r in consistent if r.endorsement],
-            creator=context.identity.certificate,
-            creator_signature=context.identity.sign(proposal.signed_bytes()),
-            timestamp=proposal.timestamp,
-            response_payload=consistent[0].payload,
-            chaincode_event=consistent[0].chaincode_event,
+            client_name=context.name,
+            payload_size_bytes=payload_size_bytes,
         )
-        context.pending[handle.tx_id] = handle
+        ctx.tags["invoke"] = InvokeState(
+            client_context=context,
+            handle=handle,
+            chaincode=chaincode,
+            function=function,
+            args=list(args),
+            payload_size_bytes=payload_size_bytes,
+        )
+        self.invoke_pipeline.execute(ctx)
 
-        # Phase 2: send to the orderer.
-        transfer = self.network.estimate_transfer_time(
-            context.host_node, self.orderer_node, transaction.size_bytes
-        )
-        arrival = assembled_at + transfer
-        handle.timings["to_orderer_s"] = transfer
-        self.engine.schedule_at(
-            arrival,
-            lambda: self._submit_to_orderer(transaction, handle),
-            label=f"order:{handle.tx_id}",
-        )
+    def set_order_batch_size(self, batch_size: int) -> None:
+        """Reconfigure the endorsement batcher (flushes any queued envelopes)."""
+        if batch_size < 1:
+            raise ConfigurationError("order batch size must be at least 1")
+        self.order_batcher.flush()
+        self.config.order_batch_size = batch_size
+        self.order_batcher.batch_size = batch_size
 
     def _collect_endorsements(
         self, context: _ClientContext, proposal: Proposal, sent_at: float
@@ -475,10 +465,22 @@ class FabricNetwork:
 
     # -------------------------------------------------------------- helpers
     def flush_and_drain(self, max_events: int = 1_000_000) -> None:
-        """Force pending batches out and run the simulation until idle."""
+        """Force pending batches out and run the simulation until idle.
+
+        Commit callbacks may submit new transactions (closed-loop
+        benchmarks), which re-queue envelopes in the endorsement batcher —
+        so keep alternating flush/run rounds until both the batcher and
+        the orderer are empty and the engine stays idle.
+        """
         self.engine.run_until_idle(max_events=max_events)
-        self.orderer.flush()
-        self.engine.run_until_idle(max_events=max_events)
+        while True:
+            if self.order_batcher.flush():
+                self.engine.run_until_idle(max_events=max_events)
+                continue
+            self.orderer.flush()
+            self.engine.run_until_idle(max_events=max_events)
+            if not self.order_batcher.queued:
+                break
 
     def ledger_heights(self) -> Dict[str, int]:
         """Block height of every peer (should agree once drained)."""

@@ -1,0 +1,84 @@
+"""Middleware protocol and the pipeline that composes middlewares."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Type, TypeVar
+
+from repro.common.errors import ConfigurationError
+from repro.middleware.context import Context
+
+#: A handler takes the context and returns the operation's result.
+Handler = Callable[[Context], Any]
+
+M = TypeVar("M", bound="Middleware")
+
+
+class Middleware:
+    """One link in a transaction pipeline.
+
+    Subclasses implement :meth:`handle` and either pass the context on by
+    calling ``call_next(ctx)`` (possibly more than once — the retry
+    middleware does) or short-circuit by returning without calling it (the
+    cache middleware on a hit, the endorsement stage on policy failure).
+    """
+
+    #: Stable identifier used in pipeline introspection and config.
+    name: str = "middleware"
+
+    def handle(self, ctx: Context, call_next: Handler) -> Any:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any external resources (event subscriptions, queues)."""
+
+
+class TransactionPipeline:
+    """An ordered middleware chain terminating in a handler.
+
+    ``execute`` threads the context down the chain; each middleware sees
+    the downstream remainder as a single ``call_next`` callable, so a
+    middleware can run code before/after its successors, swallow their
+    result, retry them or never invoke them at all.
+    """
+
+    def __init__(self, middlewares: Iterable[Middleware], terminal: Handler) -> None:
+        self.middlewares: List[Middleware] = list(middlewares)
+        self.terminal = terminal
+        for middleware in self.middlewares:
+            if not isinstance(middleware, Middleware):
+                raise ConfigurationError(
+                    f"{middleware!r} does not implement the Middleware interface"
+                )
+
+    # -------------------------------------------------------------- execute
+    def execute(self, ctx: Context) -> Any:
+        """Run ``ctx`` through the chain and return the terminal's result."""
+        handler = self.terminal
+        for middleware in reversed(self.middlewares):
+            handler = self._wrap(middleware, handler)
+        result = handler(ctx)
+        ctx.result = result
+        return result
+
+    @staticmethod
+    def _wrap(middleware: Middleware, call_next: Handler) -> Handler:
+        def handler(ctx: Context) -> Any:
+            return middleware.handle(ctx, call_next)
+
+        return handler
+
+    # ------------------------------------------------------- introspection
+    def middleware_names(self) -> List[str]:
+        return [middleware.name for middleware in self.middlewares]
+
+    def find(self, cls: Type[M]) -> Optional[M]:
+        """First middleware of type ``cls`` in the chain, if any."""
+        for middleware in self.middlewares:
+            if isinstance(middleware, cls):
+                return middleware
+        return None
+
+    def close(self) -> None:
+        """Close every middleware (cache subscriptions, pending batches)."""
+        for middleware in self.middlewares:
+            middleware.close()

@@ -1,0 +1,178 @@
+"""Read-path result cache with commit-event invalidation."""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.common.events import EventBus, Subscription
+from repro.common.metrics import MetricsRegistry
+from repro.middleware.base import Handler, Middleware
+from repro.middleware.context import Context
+
+#: Topic carrying the chaincode event every committed ``set`` emits.
+PROVENANCE_RECORDED_TOPIC = "chaincode_event:provenance_recorded"
+#: Topic carrying whole delivered blocks (covers deletes and foreign writes).
+BLOCK_DELIVERED_TOPIC = "block_delivered"
+
+#: Read functions whose first argument names the single key they depend on
+#: (the Fabric chaincode's read set plus the baselines' ``get``/``history``).
+KEY_SCOPED_FUNCTIONS = frozenset(
+    {"get", "getkeyhistory", "checkhash", "getdependencies", "history"}
+)
+
+CacheKey = Tuple[str, str, Tuple[str, ...]]
+
+
+@dataclass
+class CacheEntry:
+    """A cached read result plus the keys whose commits stale it."""
+
+    result: Any
+    keys: FrozenSet[str]
+    #: Broad entries (rich queries, range scans) depend on unknown keys and
+    #: are dropped on *any* commit.
+    broad: bool
+
+
+class ReadCacheMiddleware(Middleware):
+    """LRU cache for read-only operations, invalidated by commit events.
+
+    A hit short-circuits the rest of the pipeline and returns the cached
+    payload with ``hit_latency_s`` as the observed latency (a local lookup
+    instead of a network round trip to a peer).  Correctness comes from
+    invalidation, not expiry: the middleware subscribes to the network's
+    :class:`EventBus` — the ``provenance_recorded`` chaincode event names
+    the committed key directly, and delivered blocks are scanned for write
+    sets so deletes and writes from other clients also purge stale entries.
+    """
+
+    name = "read-cache"
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        hit_latency_s: float = 0.0,
+        events: Optional[EventBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.hit_latency_s = hit_latency_s
+        self.metrics = metrics
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._subscriptions: List[Subscription] = []
+        if events is not None:
+            self.attach(events)
+
+    # -------------------------------------------------------------- wiring
+    def attach(self, events: EventBus) -> None:
+        """Subscribe to the bus topics whose events invalidate entries."""
+        self._subscriptions.append(
+            events.subscribe(PROVENANCE_RECORDED_TOPIC, self._on_provenance_recorded)
+        )
+        self._subscriptions.append(
+            events.subscribe(BLOCK_DELIVERED_TOPIC, self._on_block_delivered)
+        )
+
+    def close(self) -> None:
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions.clear()
+        self._entries.clear()
+
+    # ------------------------------------------------------------- pipeline
+    def handle(self, ctx: Context, call_next: Handler) -> Any:
+        if not ctx.is_read:
+            return call_next(ctx)
+        key = ctx.cache_key()
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            ctx.cache_hit = True
+            ctx.timings["cache_lookup_s"] = self.hit_latency_s
+            if self.metrics is not None:
+                self.metrics.counter("cache.hits").inc()
+            return self._hit_result(entry.result)
+        if self.metrics is not None:
+            self.metrics.counter("cache.misses").inc()
+        result = call_next(ctx)
+        self._store(ctx, key, result)
+        return result
+
+    def _hit_result(self, result: Any) -> Any:
+        """Rewrite the cached result's latency to the local lookup cost."""
+        if isinstance(result, tuple) and len(result) == 2:
+            return (result[0], self.hit_latency_s)
+        return result
+
+    def _store(self, ctx: Context, key: CacheKey, result: Any) -> None:
+        if ctx.function in KEY_SCOPED_FUNCTIONS and ctx.args:
+            keys: FrozenSet[str] = frozenset({ctx.args[0]})
+            broad = False
+        else:
+            keys = frozenset()
+            broad = True
+        self._entries[key] = CacheEntry(result=result, keys=keys, broad=broad)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            if self.metrics is not None:
+                self.metrics.counter("cache.evictions").inc()
+
+    # --------------------------------------------------------- invalidation
+    def invalidate_key(self, state_key: str) -> int:
+        """Drop every entry that may depend on ``state_key``; returns count."""
+        stale = [
+            cache_key
+            for cache_key, entry in self._entries.items()
+            if entry.broad or state_key in entry.keys
+        ]
+        for cache_key in stale:
+            del self._entries[cache_key]
+        if stale and self.metrics is not None:
+            self.metrics.counter("cache.invalidations").inc(len(stale))
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def _on_provenance_recorded(self, _topic: str, payload: Dict[str, Any]) -> None:
+        key = self._event_key(payload)
+        if key is not None:
+            self.invalidate_key(key)
+
+    @staticmethod
+    def _event_key(payload: Dict[str, Any]) -> Optional[str]:
+        if not isinstance(payload, dict):
+            return None
+        if "key" in payload:
+            return payload["key"]
+        raw = payload.get("payload")
+        if isinstance(raw, str):
+            try:
+                return json.loads(raw).get("key")
+            except (ValueError, AttributeError):
+                return None
+        return None
+
+    def _on_block_delivered(self, _topic: str, payload: Dict[str, Any]) -> None:
+        block = payload.get("block") if isinstance(payload, dict) else None
+        if block is None:
+            return
+        for transaction in getattr(block, "transactions", []):
+            rw_set = getattr(transaction, "rw_set", None)
+            if rw_set is None:
+                continue
+            for write in rw_set.writes:
+                self.invalidate_key(write.key)
+
+    # -------------------------------------------------------- introspection
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cached_keys(self) -> List[CacheKey]:
+        return list(self._entries.keys())

@@ -1,0 +1,141 @@
+"""Declarative pipeline configuration.
+
+Benchmarks and the CLI describe a pipeline as data — cache on/off, retry
+attempts, batch size — and build it here, so an ablation is a config swap
+rather than a code fork.  ``PipelineConfig()`` (all defaults) reproduces
+the pre-middleware behaviour exactly: tracing and metrics only observe,
+retry makes a single attempt, the cache is off and the batcher passes
+every envelope straight through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import EventBus
+from repro.common.ids import DeterministicIdGenerator
+from repro.common.metrics import MetricsRegistry
+from repro.middleware.base import Handler, Middleware, TransactionPipeline
+from repro.middleware.cache import ReadCacheMiddleware
+from repro.middleware.metrics import MetricsMiddleware
+from repro.middleware.retry import RetryMiddleware, RetryPolicy
+from repro.middleware.tracing import RequestIdMiddleware
+
+
+@dataclass
+class PipelineConfig:
+    """Which middlewares a client pipeline runs, and how they are tuned."""
+
+    #: Assign request ids and publish trace events.
+    tracing: bool = True
+    #: Record per-operation and per-stage latency metrics.
+    metrics: bool = True
+    #: Total attempts per operation (1 = no retry).
+    retry_attempts: int = 1
+    retry_backoff_s: float = 0.05
+    retry_multiplier: float = 2.0
+    #: Serve repeated reads from a client-side cache (commit-invalidated).
+    cache: bool = False
+    cache_capacity: int = 256
+    #: Latency charged for a cache hit (a local lookup, not a peer RTT).
+    cache_hit_latency_s: float = 0.0
+    #: Endorsed envelopes coalesced per orderer submission (fabric-side).
+    order_batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.retry_attempts < 1:
+            raise ConfigurationError("retry_attempts must be >= 1")
+        if self.cache_capacity < 1:
+            raise ConfigurationError("cache_capacity must be >= 1")
+        if self.order_batch_size < 1:
+            raise ConfigurationError("order_batch_size must be >= 1")
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PipelineConfig":
+        known = {name for name in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown pipeline config keys: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    def middleware_names(self) -> List[str]:
+        """Names of the middlewares this config enables, in chain order."""
+        names = []
+        if self.tracing:
+            names.append("request-id")
+        if self.metrics:
+            names.append("metrics")
+        if self.retry_attempts > 1:
+            names.append("retry")
+        if self.cache:
+            names.append("read-cache")
+        return names
+
+
+def build_client_middlewares(
+    config: PipelineConfig,
+    *,
+    clock: Optional[Callable[[], float]] = None,
+    events: Optional[EventBus] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    id_generator: Optional[DeterministicIdGenerator] = None,
+) -> List[Middleware]:
+    """Instantiate the stock middleware chain a :class:`PipelineConfig` asks for.
+
+    Chain order is fixed: tracing (outermost, so every attempt is visible
+    under one request id) → metrics (counts the operation once) → retry →
+    cache (innermost, so a retried attempt can still be answered from
+    cache and a hit short-circuits everything below it).
+    """
+    middlewares: List[Middleware] = []
+    if config.tracing:
+        middlewares.append(RequestIdMiddleware(id_generator=id_generator, events=events))
+    if config.metrics and metrics is not None:
+        middlewares.append(MetricsMiddleware(registry=metrics, clock=clock))
+    if config.retry_attempts > 1:
+        policy = RetryPolicy(
+            max_attempts=config.retry_attempts,
+            backoff_s=config.retry_backoff_s,
+            multiplier=config.retry_multiplier,
+        )
+        middlewares.append(RetryMiddleware(policy=policy, clock=clock, metrics=metrics))
+    if config.cache:
+        middlewares.append(
+            ReadCacheMiddleware(
+                capacity=config.cache_capacity,
+                hit_latency_s=config.cache_hit_latency_s,
+                events=events,
+                metrics=metrics,
+            )
+        )
+    return middlewares
+
+
+def build_client_pipeline(
+    config: PipelineConfig,
+    terminal: Handler,
+    *,
+    clock: Optional[Callable[[], float]] = None,
+    events: Optional[EventBus] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    id_generator: Optional[DeterministicIdGenerator] = None,
+) -> TransactionPipeline:
+    """Build a ready-to-run pipeline around ``terminal``."""
+    return TransactionPipeline(
+        build_client_middlewares(
+            config,
+            clock=clock,
+            events=events,
+            metrics=metrics,
+            id_generator=id_generator,
+        ),
+        terminal,
+    )

@@ -1,0 +1,190 @@
+"""The Fabric invoke flow decomposed into pipeline stages.
+
+Historically ``FabricNetwork._run_invoke`` ran the whole
+client→endorse→order→commit path as one monolithic method.  Each phase now
+lives in its own :class:`~repro.middleware.base.Middleware` so cross-cutting
+middlewares (the endorsement batcher, tracing, future admission control)
+can be spliced between phases without touching the phases themselves:
+
+    build-proposal → collect-endorsements → [batcher] → submit-to-orderer
+    → await-commit
+
+The stages communicate through an :class:`InvokeState` parked under
+``ctx.tags["invoke"]`` and hold a reference to the owning ``FabricNetwork``
+for topology, devices and the simulation clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.fabric.proposal import Proposal, ProposalResponse, TransactionHandle
+from repro.ledger.transaction import Transaction, TxValidationCode
+from repro.middleware.base import Handler, Middleware
+from repro.middleware.context import Context
+
+
+@dataclass
+class InvokeState:
+    """Mutable per-invocation state shared by the Fabric stages."""
+
+    client_context: Any  # fabric _ClientContext (duck-typed: no import cycle)
+    handle: TransactionHandle
+    chaincode: str
+    function: str
+    args: List[str]
+    payload_size_bytes: int = 0
+    start: float = 0.0
+    proposal: Optional[Proposal] = None
+    prep_done: float = 0.0
+    responses: List[ProposalResponse] = field(default_factory=list)
+    endorsement_done: float = 0.0
+    transaction: Optional[Transaction] = None
+    assembled_at: float = 0.0
+
+
+class FabricStage(Middleware):
+    """Base class binding a stage to its owning FabricNetwork."""
+
+    def __init__(self, fabric: Any) -> None:
+        self.fabric = fabric
+
+    @staticmethod
+    def state(ctx: Context) -> InvokeState:
+        return ctx.tags["invoke"]
+
+
+class BuildProposalStage(FabricStage):
+    """Client-side preparation: build, marshal and sign the proposal."""
+
+    name = "build-proposal"
+
+    def handle(self, ctx: Context, call_next: Handler) -> Any:
+        fabric = self.fabric
+        state = self.state(ctx)
+        client = state.client_context
+        state.start = max(state.handle.submitted_at, fabric.engine.now)
+        state.proposal = fabric._build_proposal(
+            client, state.handle, state.chaincode, state.function,
+            state.args, state.payload_size_bytes,
+        )
+        prep = (
+            client.device.sign_time()
+            + client.device.serialization_time(state.proposal.size_bytes)
+            + fabric.config.client_overhead_s
+        )
+        _, state.prep_done = client.device.charge_cpu(
+            state.start, prep, label=f"prepare:{state.handle.tx_id}"
+        )
+        return call_next(ctx)
+
+
+class CollectEndorsementsStage(FabricStage):
+    """Phase 1: endorse on every peer, verify agreement, assemble the envelope.
+
+    Short-circuits the pipeline (never calls ``call_next``) when the
+    endorsement policy cannot be satisfied, completing the handle with
+    ``ENDORSEMENT_POLICY_FAILURE`` exactly as the monolithic path did.
+    """
+
+    name = "collect-endorsements"
+
+    def handle(self, ctx: Context, call_next: Handler) -> Any:
+        fabric = self.fabric
+        state = self.state(ctx)
+        client = state.client_context
+        handle = state.handle
+
+        responses, endorsement_done = fabric._collect_endorsements(
+            client, state.proposal, state.prep_done
+        )
+        state.responses = responses
+        state.endorsement_done = endorsement_done
+        handle.endorsed_at = endorsement_done
+        handle.timings["endorsement_s"] = endorsement_done - state.start
+
+        ok_responses = [r for r in responses if r.is_ok]
+        if not ok_responses:
+            message = responses[0].message if responses else "no endorsing peers reachable"
+            handle.response_payload = None
+            handle.complete(endorsement_done, TxValidationCode.ENDORSEMENT_POLICY_FAILURE)
+            fabric.metrics.counter("endorsement_failures").inc()
+            fabric.events.publish(
+                "endorsement_failed", {"tx_id": handle.tx_id, "message": message}
+            )
+            return handle
+
+        # Fabric requires all endorsements to agree on the read/write set.
+        reference = ok_responses[0].rw_set.digest()
+        consistent = [r for r in ok_responses if r.rw_set.digest() == reference]
+
+        handle.response_payload = consistent[0].payload
+
+        # Client verifies endorsements and assembles the envelope.
+        assemble = client.device.verify_time(len(consistent)) + client.device.sign_time()
+        _, state.assembled_at = client.device.charge_cpu(
+            endorsement_done, assemble, label=f"assemble:{handle.tx_id}"
+        )
+
+        state.transaction = Transaction(
+            tx_id=handle.tx_id,
+            channel=fabric.channel.name,
+            chaincode=state.chaincode,
+            function=state.function,
+            args=list(state.args),
+            rw_set=consistent[0].rw_set,
+            endorsements=[r.endorsement for r in consistent if r.endorsement],
+            creator=client.identity.certificate,
+            creator_signature=client.identity.sign(state.proposal.signed_bytes()),
+            timestamp=state.proposal.timestamp,
+            response_payload=consistent[0].payload,
+            chaincode_event=consistent[0].chaincode_event,
+        )
+        return call_next(ctx)
+
+
+class SubmitToOrdererStage(FabricStage):
+    """Phase 2: ship the assembled envelope to the ordering service.
+
+    Honours an ``order_arrival`` tag when the endorsement batcher upstream
+    coalesced this envelope into a combined transfer; otherwise the
+    envelope pays its own client→orderer transfer time.
+    """
+
+    name = "submit-to-orderer"
+
+    def handle(self, ctx: Context, call_next: Handler) -> Any:
+        fabric = self.fabric
+        state = self.state(ctx)
+        arrival = ctx.tags.get("order_arrival")
+        if arrival is None:
+            transfer = fabric.network.estimate_transfer_time(
+                state.client_context.host_node,
+                fabric.orderer_node,
+                state.transaction.size_bytes,
+            )
+            arrival = state.assembled_at + transfer
+        state.handle.timings["to_orderer_s"] = arrival - state.assembled_at
+        fabric.engine.schedule_at(
+            arrival,
+            lambda: fabric._submit_to_orderer(state.transaction, state.handle),
+            label=f"order:{state.handle.tx_id}",
+        )
+        return call_next(ctx)
+
+
+class AwaitCommitStage(FabricStage):
+    """Register the handle so the anchor peer's commit completes it.
+
+    The commit itself is asynchronous (the orderer cuts a block, the peers
+    validate and the network completes pending handles in
+    ``_complete_handles``); this stage wires the handle into that path.
+    """
+
+    name = "await-commit"
+
+    def handle(self, ctx: Context, call_next: Handler) -> Any:
+        state = self.state(ctx)
+        state.client_context.pending[state.handle.tx_id] = state.handle
+        return call_next(ctx)

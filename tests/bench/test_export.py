@@ -10,6 +10,7 @@ from repro.bench.export import (
     export_all,
     figure_series_rows,
     ops_rows,
+    stage_rows,
     write_csv,
 )
 from repro.bench.fig1_throughput import run_fig1
@@ -34,10 +35,16 @@ def test_energy_rows_cover_every_interval():
 
 
 def test_ops_rows_flatten_both_setups():
-    rows = ops_rows(run_ops_table(repeats=2))
+    results = run_ops_table(repeats=2)
+    rows = ops_rows(results)
     setups = {row["setup"] for row in rows}
     assert setups == {"desktop", "rpi"}
     assert all(row["latency_s"] > 0 for row in rows)
+
+    breakdown = stage_rows(results)
+    assert {row["setup"] for row in breakdown} == {"desktop", "rpi"}
+    assert {row["stage"] for row in breakdown} == {"endorse", "order", "commit"}
+    assert all(row["mean_latency_s"] > 0 for row in breakdown)
 
 
 def test_write_csv_roundtrip(tmp_path):
@@ -55,12 +62,12 @@ def test_write_csv_rejects_empty(tmp_path):
 
 def test_export_all_writes_every_file(tmp_path):
     written = export_all(tmp_path, requests=10, rpi_requests=10, energy_interval_s=60.0)
-    assert set(written) == {"fig1", "fig2", "fig3", "ops", "manifest"}
+    assert set(written) == {"fig1", "fig2", "fig3", "ops", "ops_stages", "manifest"}
     for path in written.values():
         assert (tmp_path / path.split("/")[-1]).exists() or path.startswith(str(tmp_path))
     manifest = json.loads((tmp_path / "manifest.json").read_text())
     assert manifest["seed"] == 42
-    assert set(manifest["files"]) == {"fig1", "fig2", "fig3", "ops"}
+    assert set(manifest["files"]) == {"fig1", "fig2", "fig3", "ops", "ops_stages"}
     with (tmp_path / "fig1_desktop.csv").open() as handle:
         rows = list(csv.DictReader(handle))
     assert len(rows) == 6  # one row per default data size

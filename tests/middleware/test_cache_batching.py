@@ -1,0 +1,228 @@
+"""Cache hit/miss + invalidation and endorsement-batcher flush semantics.
+
+These run against full deployments so the invalidation path exercises the
+real commit events (chaincode event + block delivery) rather than mocks.
+"""
+
+import pytest
+
+from repro.common.events import EventBus
+from repro.common.metrics import MetricsRegistry
+from repro.core.topology import build_desktop_deployment
+from repro.middleware.base import TransactionPipeline
+from repro.middleware.cache import ReadCacheMiddleware
+from repro.middleware.config import PipelineConfig
+from repro.middleware.context import Context, OperationKind
+
+
+def read_ctx(function="get", args=("k",)):
+    return Context(
+        operation=function,
+        kind=OperationKind.READ,
+        chaincode="hyperprov",
+        function=function,
+        args=list(args),
+    )
+
+
+class TestReadCacheUnit:
+    def test_hit_returns_cached_payload_with_hit_latency(self):
+        calls = []
+        cache = ReadCacheMiddleware(hit_latency_s=0.001)
+        pipeline = TransactionPipeline(
+            [cache], terminal=lambda ctx: calls.append(1) or ("payload", 0.5)
+        )
+        miss = pipeline.execute(read_ctx())
+        hit_ctx = read_ctx()
+        hit = pipeline.execute(hit_ctx)
+        assert len(calls) == 1
+        assert miss == ("payload", 0.5)
+        assert hit == ("payload", 0.001)
+        assert hit_ctx.cache_hit is True
+
+    def test_writes_are_never_cached(self):
+        calls = []
+        cache = ReadCacheMiddleware()
+        pipeline = TransactionPipeline(
+            [cache], terminal=lambda ctx: calls.append(1) or "handle"
+        )
+        ctx = Context(
+            operation="post", kind=OperationKind.WRITE,
+            chaincode="hyperprov", function="set", args=["k"],
+        )
+        pipeline.execute(ctx)
+        pipeline.execute(ctx)
+        assert len(calls) == 2
+        assert len(cache) == 0
+
+    def test_invalidate_key_drops_key_scoped_and_broad_entries(self):
+        cache = ReadCacheMiddleware()
+        pipeline = TransactionPipeline([cache], terminal=lambda ctx: ("x", 0.1))
+        pipeline.execute(read_ctx("get", args=("a",)))
+        pipeline.execute(read_ctx("get", args=("b",)))
+        pipeline.execute(read_ctx("getbyrange", args=("", "~")))  # broad
+        assert len(cache) == 3
+        dropped = cache.invalidate_key("a")
+        assert dropped == 2  # the exact-key entry for "a" plus the range scan
+        assert len(cache) == 1  # "b" survives
+
+    def test_lru_eviction_respects_capacity(self):
+        metrics = MetricsRegistry()
+        cache = ReadCacheMiddleware(capacity=2, metrics=metrics)
+        pipeline = TransactionPipeline([cache], terminal=lambda ctx: ("x", 0.1))
+        for key in ("a", "b", "c"):
+            pipeline.execute(read_ctx("get", args=(key,)))
+        assert len(cache) == 2
+        assert metrics.get_counter("cache.evictions").value == 1
+        # "a" was evicted; "b" and "c" remain.
+        remaining = {args[0] for (_, _, args) in cache.cached_keys()}
+        assert remaining == {"b", "c"}
+
+    def test_provenance_recorded_event_invalidates(self):
+        bus = EventBus()
+        cache = ReadCacheMiddleware(events=bus)
+        pipeline = TransactionPipeline([cache], terminal=lambda ctx: ("x", 0.1))
+        pipeline.execute(read_ctx("get", args=("sensor/1",)))
+        assert len(cache) == 1
+        bus.publish(
+            "chaincode_event:provenance_recorded",
+            {"payload": '{"key": "sensor/1"}', "tx_id": "tx-0"},
+        )
+        assert len(cache) == 0
+
+    def test_close_cancels_subscriptions(self):
+        bus = EventBus()
+        cache = ReadCacheMiddleware(events=bus)
+        assert bus.topics()
+        cache.close()
+        assert not bus.topics()
+
+
+class TestReadCacheEndToEnd:
+    def test_hit_miss_and_commit_invalidation(self):
+        deployment = build_desktop_deployment(seed=42)
+        client = deployment.client
+        client.configure_pipeline(PipelineConfig(cache=True))
+
+        client.store_data("hot/key", b"v1")
+        deployment.drain()
+
+        first = client.get("hot/key")
+        second = client.get("hot/key")
+        assert client.metrics.get_counter("cache.misses").value == 1
+        assert client.metrics.get_counter("cache.hits").value == 1
+        # The cached read is answered locally, not via a peer round trip.
+        assert second.latency_s < first.latency_s
+        assert second.payload.checksum == first.payload.checksum
+
+        # A new committed version must invalidate the entry...
+        client.store_data("hot/key", b"v2")
+        deployment.drain()
+        refreshed = client.get("hot/key")
+        # ... so the read goes back to the peer and sees the new checksum.
+        assert client.metrics.get_counter("cache.misses").value == 2
+        assert refreshed.payload.checksum != first.payload.checksum
+
+    def test_cache_disabled_config_reproduces_uncached_latency(self):
+        deployment = build_desktop_deployment(seed=42)
+        client = deployment.client  # default config: cache off
+        client.store_data("cold/key", b"v1")
+        deployment.drain()
+        first = client.get("cold/key")
+        second = client.get("cold/key")
+        # Without the cache both reads pay a real peer round trip.
+        assert second.latency_s > first.latency_s * 0.1
+        assert client.metrics.get_counter("cache.hits") is None
+
+
+def post_inline(client, key):
+    """Submit a metadata-only post at the current virtual time (no storage).
+
+    ``post`` with the default ``at_time`` runs the invoke synchronously, so
+    the endorsement batcher's queue growth is deterministic in the test.
+    """
+    return client.post(key=key, checksum="ab" * 32, location=f"file://{key}").handle
+
+
+class TestEndorsementBatcher:
+    def test_count_triggered_flush(self):
+        deployment = build_desktop_deployment(seed=42)
+        client = deployment.client
+        client.configure_pipeline(PipelineConfig(order_batch_size=3))
+        batcher = deployment.fabric.order_batcher
+
+        handles = [post_inline(client, f"batch/{i}") for i in range(2)]
+        assert batcher.queued == 2
+        handles.append(post_inline(client, "batch/2"))
+        # The third submission filled the batch: nothing left queued.
+        assert batcher.queued == 0
+        assert deployment.fabric.metrics.get_counter("batcher.flushes").value == 1
+        deployment.drain()
+        assert all(h.is_valid for h in handles)
+
+    def test_drain_flushes_partial_batch(self):
+        deployment = build_desktop_deployment(seed=42)
+        client = deployment.client
+        client.configure_pipeline(PipelineConfig(order_batch_size=10))
+
+        handles = [post_inline(client, f"partial/{i}") for i in range(4)]
+        assert deployment.fabric.order_batcher.queued == 4
+        deployment.drain()
+        assert deployment.fabric.order_batcher.queued == 0
+        assert all(h.is_valid for h in handles)
+
+    def test_batched_run_commits_same_records_as_unbatched(self):
+        batched = build_desktop_deployment(seed=42)
+        batched.client.configure_pipeline(PipelineConfig(order_batch_size=4))
+        plain = build_desktop_deployment(seed=42)
+        for deployment in (batched, plain):
+            for i in range(8):
+                deployment.client.store_data(f"eq/{i}", f"x{i}".encode())
+            deployment.drain()
+        for i in range(8):
+            key = f"eq/{i}"
+            assert (
+                batched.peers[0].world_state.get(key).value
+                == plain.peers[0].world_state.get(key).value
+            )
+
+    def test_batch_size_one_is_passthrough(self):
+        deployment = build_desktop_deployment(seed=42)
+        deployment.client.store_data("solo/0", b"x")
+        assert deployment.fabric.order_batcher.queued == 0
+        deployment.drain()
+        flushes = deployment.fabric.metrics.get_counter("batcher.flushes")
+        assert flushes is None or flushes.value == 0
+
+    def test_invalid_batch_size_rejected_without_side_effects(self):
+        deployment = build_desktop_deployment(seed=42)
+        deployment.client.configure_pipeline(PipelineConfig(order_batch_size=10))
+        post_inline(deployment.client, "reject/0")
+        queued_before = deployment.fabric.order_batcher.queued
+        with pytest.raises(Exception):
+            deployment.fabric.set_order_batch_size(0)
+        # The rejected reconfiguration must not have force-flushed the queue.
+        assert deployment.fabric.order_batcher.queued == queued_before
+
+    def test_closed_loop_drain_with_batch_larger_than_inflight(self):
+        """Commit callbacks that submit new work must not starve the batcher.
+
+        Regression test: with order_batch_size above the number of
+        in-flight submissions, drain() must keep alternating batcher and
+        orderer flush rounds until every chained submission commits.
+        """
+        from repro.bench.runner import RunConfig, StoreDataRunner
+
+        deployment = build_desktop_deployment(seed=42)
+        result = StoreDataRunner(deployment).run(
+            RunConfig(
+                data_size_bytes=1024,
+                request_count=40,
+                concurrency=8,
+                seed=42,
+                pipeline=PipelineConfig(order_batch_size=32),
+            )
+        )
+        assert result.submitted == 40
+        assert result.committed == 40
+        assert deployment.fabric.order_batcher.queued == 0

@@ -1,0 +1,126 @@
+"""Client + baseline integration with the transaction pipeline."""
+
+import pytest
+
+from repro.baselines.centraldb import CentralProvenanceDatabase
+from repro.baselines.provchain import PowProvenanceChain
+from repro.chaincode.records import ProvenanceRecord
+from repro.devices.model import DeviceModel
+from repro.devices.profiles import XEON_E5_1603
+from repro.middleware.config import PipelineConfig
+from repro.middleware.metrics import STAGE_COMMIT, STAGE_ENDORSE, STAGE_ORDER
+from repro.simulation.randomness import DeterministicRandom
+
+
+def make_record(key="k", checksum="0" * 64):
+    return ProvenanceRecord(
+        key=key,
+        checksum=checksum,
+        location=f"db://x/{key}",
+        creator="tester",
+        organization="org1",
+        certificate_fingerprint="",
+    )
+
+
+class TestClientPipeline:
+    def test_every_operator_flows_through_the_pipeline(self, desktop_deployment):
+        client = desktop_deployment.client
+        client.store_data("ops/a", b"a")
+        desktop_deployment.drain()
+        client.get("ops/a")
+        client.get_key_history("ops/a")
+        client.check_hash("ops/a", b"a")
+        client.get_dependencies("ops/a")
+        client.query_records({"creator": "hyperprov-client"})
+        client.get_by_range("ops/", "ops/~")
+        counters = {
+            name.split("ops.")[-1]
+            for name in client.metrics.snapshot()
+            if ".ops." in name
+        }
+        assert {
+            "store_data", "get", "get_key_history", "check_hash",
+            "get_dependencies", "query_records", "get_by_range",
+        } <= counters
+
+    def test_stage_breakdown_recorded_for_writes(self, desktop_deployment):
+        client = desktop_deployment.client
+        client.store_data("stage/a", b"a")
+        desktop_deployment.drain()
+        endorse = client.metrics.get_histogram(STAGE_ENDORSE)
+        order = client.metrics.get_histogram(STAGE_ORDER)
+        commit = client.metrics.get_histogram(STAGE_COMMIT)
+        assert endorse is not None and endorse.count == 1
+        assert order is not None and order.count == 1
+        assert commit is not None and commit.count == 1
+        # Stage sum reconstructs the end-to-end commit latency.
+        total = endorse.total + order.total + commit.total
+        op = client.metrics.get_histogram("op.store_data.latency_s")
+        assert op.total == pytest.approx(total, rel=1e-6)
+
+    def test_request_ids_are_traced_per_operation(self, desktop_deployment):
+        client = desktop_deployment.client
+        seen = []
+        desktop_deployment.fabric.events.subscribe(
+            "pipeline.request", lambda t, p: seen.append(p["request_id"])
+        )
+        client.store_data("trace/a", b"a")
+        desktop_deployment.drain()
+        client.get("trace/a")
+        assert len(seen) == 2
+        assert len(set(seen)) == 2
+
+    def test_configure_pipeline_swaps_chain_and_closes_old_cache(self, desktop_deployment):
+        client = desktop_deployment.client
+        client.configure_pipeline(PipelineConfig(cache=True))
+        cache = client.read_cache
+        assert cache is not None
+        client.configure_pipeline(PipelineConfig(cache=False))
+        assert client.read_cache is None
+        # The old cache unsubscribed from the network bus on close.
+        assert not cache._subscriptions
+
+
+class TestBaselinePipelines:
+    def test_centraldb_operations_flow_through_pipeline(self):
+        device = DeviceModel("srv", XEON_E5_1603, rng=DeterministicRandom(7))
+        db = CentralProvenanceDatabase(device, pipeline_config=PipelineConfig(cache=True))
+        db.store_record(make_record("a"))
+        assert db.get("a").key == "a"
+        assert db.get("a").key == "a"  # served from cache
+        assert db.metrics.get_counter("cache.hits").value == 1
+        assert db.metrics.get_counter("ops.store_record").value == 1
+        assert db.metrics.get_counter("ops.get").value == 2
+
+    def test_centraldb_store_invalidates_cache(self):
+        device = DeviceModel("srv", XEON_E5_1603, rng=DeterministicRandom(7))
+        db = CentralProvenanceDatabase(device, pipeline_config=PipelineConfig(cache=True))
+        db.store_record(make_record("a", checksum="1" * 64))
+        assert db.get("a").checksum == "1" * 64
+        db.store_record(make_record("a", checksum="2" * 64))
+        assert db.get("a").checksum == "2" * 64  # not the stale cached version
+
+    def test_provchain_operations_flow_through_pipeline(self):
+        device = DeviceModel("miner", XEON_E5_1603, rng=DeterministicRandom(9))
+        chain = PowProvenanceChain(
+            device, difficulty_bits=8, pipeline_config=PipelineConfig(cache=True)
+        )
+        chain.store_record(make_record("a", checksum="1" * 64))
+        entry = chain.get("a")
+        assert entry.record.key == "a"
+        assert chain.get("a") is entry  # cache hit returns the same entry
+        chain.store_record(make_record("a", checksum="2" * 64))
+        assert chain.get("a").record.checksum == "2" * 64
+        assert chain.metrics.get_counter("ops.store_record").value == 2
+        assert chain.verify_chain()
+
+    def test_default_pipeline_preserves_legacy_behaviour(self):
+        device = DeviceModel("srv", XEON_E5_1603, rng=DeterministicRandom(7))
+        db = CentralProvenanceDatabase(device)
+        result = db.store_record(make_record("a"))
+        assert result.latency_s > 0
+        assert db.record_count == 1
+        tampered = db.tamper("a", "f" * 64)
+        assert db.get("a").checksum == tampered.checksum
+        assert db.detect_tampering() == []

@@ -1,0 +1,241 @@
+"""Unit tests for the transaction pipeline core and stock middlewares."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, NetworkError, NotFoundError
+from repro.common.events import EventBus
+from repro.common.metrics import MetricsRegistry
+from repro.middleware.base import Middleware, TransactionPipeline
+from repro.middleware.config import PipelineConfig, build_client_pipeline
+from repro.middleware.context import Context, OperationKind
+from repro.middleware.retry import RetryMiddleware, RetryPolicy
+from repro.middleware.tracing import RequestIdMiddleware
+
+
+def make_ctx(function="get", kind=OperationKind.READ, args=None, operation=None):
+    return Context(
+        operation=operation or function,
+        kind=kind,
+        chaincode="hyperprov",
+        function=function,
+        args=args if args is not None else ["k"],
+    )
+
+
+class Recorder(Middleware):
+    """Records enter/exit order so chain composition is observable."""
+
+    def __init__(self, label, log):
+        self.name = label
+        self.label = label
+        self.log = log
+
+    def handle(self, ctx, call_next):
+        self.log.append(f"enter:{self.label}")
+        result = call_next(ctx)
+        self.log.append(f"exit:{self.label}")
+        return result
+
+
+class ShortCircuit(Middleware):
+    name = "short-circuit"
+
+    def handle(self, ctx, call_next):
+        return "short-circuited"
+
+
+class Failing(Middleware):
+    name = "failing"
+
+    def __init__(self, error):
+        self.error = error
+
+    def handle(self, ctx, call_next):
+        raise self.error
+
+
+class TestPipelineOrdering:
+    def test_middlewares_run_in_declared_order(self):
+        log = []
+        pipeline = TransactionPipeline(
+            [Recorder("a", log), Recorder("b", log), Recorder("c", log)],
+            terminal=lambda ctx: log.append("terminal") or "done",
+        )
+        result = pipeline.execute(make_ctx())
+        assert result == "done"
+        assert log == [
+            "enter:a", "enter:b", "enter:c", "terminal",
+            "exit:c", "exit:b", "exit:a",
+        ]
+
+    def test_result_is_recorded_on_context(self):
+        pipeline = TransactionPipeline([], terminal=lambda ctx: 41 + 1)
+        ctx = make_ctx()
+        pipeline.execute(ctx)
+        assert ctx.result == 42
+
+    def test_short_circuit_skips_downstream(self):
+        log = []
+        pipeline = TransactionPipeline(
+            [Recorder("outer", log), ShortCircuit(), Recorder("inner", log)],
+            terminal=lambda ctx: log.append("terminal"),
+        )
+        result = pipeline.execute(make_ctx())
+        assert result == "short-circuited"
+        assert "enter:inner" not in log
+        assert "terminal" not in log
+
+    def test_error_short_circuits_and_propagates(self):
+        log = []
+        pipeline = TransactionPipeline(
+            [Recorder("outer", log), Failing(NotFoundError("nope"))],
+            terminal=lambda ctx: log.append("terminal"),
+        )
+        with pytest.raises(NotFoundError):
+            pipeline.execute(make_ctx())
+        assert "terminal" not in log
+        # The outer middleware saw the enter but never the exit.
+        assert log == ["enter:outer"]
+
+    def test_rejects_non_middleware(self):
+        with pytest.raises(ConfigurationError):
+            TransactionPipeline([object()], terminal=lambda ctx: None)
+
+    def test_find_and_names(self):
+        log = []
+        recorder = Recorder("a", log)
+        pipeline = TransactionPipeline([recorder], terminal=lambda ctx: None)
+        assert pipeline.middleware_names() == ["a"]
+        assert pipeline.find(Recorder) is recorder
+        assert pipeline.find(ShortCircuit) is None
+
+
+class TestRequestId:
+    def test_assigns_stable_deterministic_ids(self):
+        pipeline = TransactionPipeline([RequestIdMiddleware()], terminal=lambda c: None)
+        first, second = make_ctx(), make_ctx()
+        pipeline.execute(first)
+        pipeline.execute(second)
+        assert first.request_id.startswith("req-")
+        assert first.request_id != second.request_id
+
+    def test_publishes_request_and_response_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("pipeline.request", lambda t, p: seen.append((t, p)))
+        bus.subscribe("pipeline.response", lambda t, p: seen.append((t, p)))
+        bus.subscribe("pipeline.error", lambda t, p: seen.append((t, p)))
+        pipeline = TransactionPipeline(
+            [RequestIdMiddleware(events=bus)], terminal=lambda c: ("ok", 0.1)
+        )
+        pipeline.execute(make_ctx())
+        assert [topic for topic, _ in seen] == ["pipeline.request", "pipeline.response"]
+
+        failing = TransactionPipeline(
+            [RequestIdMiddleware(events=bus), Failing(NotFoundError("x"))],
+            terminal=lambda c: None,
+        )
+        with pytest.raises(NotFoundError):
+            failing.execute(make_ctx())
+        assert [topic for topic, _ in seen][-1] == "pipeline.error"
+
+
+class TestRetry:
+    def test_retries_until_success(self):
+        attempts = []
+
+        def flaky(ctx):
+            attempts.append(ctx.attempt)
+            if len(attempts) < 3:
+                raise NetworkError("transient")
+            return "ok"
+
+        pipeline = TransactionPipeline(
+            [RetryMiddleware(RetryPolicy(max_attempts=3, backoff_s=0.1))],
+            terminal=flaky,
+        )
+        ctx = make_ctx()
+        assert pipeline.execute(ctx) == "ok"
+        assert attempts == [1, 2, 3]
+        # Backoff advanced the virtual start time of later attempts.
+        assert ctx.at_time is not None and ctx.at_time > 0
+
+    def test_gives_up_and_propagates_last_error(self):
+        metrics = MetricsRegistry()
+        calls = []
+
+        def always_down(ctx):
+            calls.append(ctx.attempt)
+            raise NetworkError(f"down ({ctx.attempt})")
+
+        pipeline = TransactionPipeline(
+            [RetryMiddleware(RetryPolicy(max_attempts=3), metrics=metrics)],
+            terminal=always_down,
+        )
+        with pytest.raises(NetworkError, match=r"down \(3\)"):
+            pipeline.execute(make_ctx())
+        assert calls == [1, 2, 3]
+        assert metrics.get_counter("retry.exhausted").value == 1
+
+    def test_non_retryable_errors_pass_straight_through(self):
+        calls = []
+
+        def not_found(ctx):
+            calls.append(1)
+            raise NotFoundError("no such key")
+
+        pipeline = TransactionPipeline(
+            [RetryMiddleware(RetryPolicy(max_attempts=5))], terminal=not_found
+        )
+        with pytest.raises(NotFoundError):
+            pipeline.execute(make_ctx())
+        assert calls == [1]
+
+    def test_exponential_backoff_schedule(self):
+        policy = RetryPolicy(max_attempts=4, backoff_s=0.1, multiplier=2.0)
+        assert policy.delay_before(2) == pytest.approx(0.1)
+        assert policy.delay_before(3) == pytest.approx(0.2)
+        assert policy.delay_before(4) == pytest.approx(0.4)
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestPipelineConfig:
+    def test_default_config_enables_observation_only(self):
+        config = PipelineConfig()
+        assert config.middleware_names() == ["request-id", "metrics"]
+
+    def test_full_config_ordering(self):
+        config = PipelineConfig(retry_attempts=3, cache=True)
+        assert config.middleware_names() == [
+            "request-id", "metrics", "retry", "read-cache",
+        ]
+
+    def test_round_trips_through_dict(self):
+        config = PipelineConfig(cache=True, retry_attempts=2, order_batch_size=4)
+        assert PipelineConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict({"cache": True, "warp_speed": 9})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(retry_attempts=0)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(order_batch_size=0)
+
+    def test_build_client_pipeline_matches_config(self):
+        metrics = MetricsRegistry()
+        pipeline = build_client_pipeline(
+            PipelineConfig(cache=True, retry_attempts=2),
+            lambda ctx: None,
+            metrics=metrics,
+        )
+        assert pipeline.middleware_names() == [
+            "request-id", "metrics", "retry", "read-cache",
+        ]
