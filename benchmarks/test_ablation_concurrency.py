@@ -1,0 +1,40 @@
+"""Benchmark: ablation over the closed loop's in-flight submission depth.
+
+Sweeps how many futures-based ``submit()`` calls the unified API keeps
+outstanding with 64 KiB payloads on the desktop deployment.  Expected
+shape: depth 1 (a strictly blocking client) commits one transaction per
+orderer batch timeout; deeper pipelines fill blocks by message count, so
+throughput rises monotonically with depth and jumps once the depth
+exceeds the orderer's ``MaxMessageCount``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablation_concurrency import run_concurrency_ablation
+
+DEPTHS = (1, 2, 4, 8, 16)
+
+
+def test_concurrency_ablation(benchmark, record_rows):
+    ablation = benchmark.pedantic(
+        lambda: run_concurrency_ablation(depths=DEPTHS, requests=40),
+        iterations=1,
+        rounds=1,
+    )
+    rows = [
+        {
+            "in_flight_depth": depth,
+            "throughput_tps": round(result.throughput_tps, 2),
+            "mean_response_s": round(result.mean_response_s, 4),
+            "p95_response_s": round(result.p95_response_s, 4),
+        }
+        for depth, result in zip(ablation.depths, ablation.results)
+    ]
+    record_rows(benchmark, "Ablation — in-flight submission depth (64 KiB payloads)", rows)
+
+    by_depth = dict(zip(ablation.depths, ablation.results))
+    # Keeping more than one submission in flight beats the blocking client.
+    assert by_depth[2].throughput_tps > by_depth[1].throughput_tps
+    assert by_depth[16].throughput_tps > by_depth[1].throughput_tps * 2
+    # Every configuration committed the full workload.
+    assert all(result.failed == 0 for result in ablation.results)

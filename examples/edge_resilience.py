@@ -13,6 +13,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import HyperProvService
 from repro.consensus.batching import BatchConfig
 from repro.core import build_rpi_deployment
 from repro.core.topology import build_desktop_deployment
@@ -21,10 +22,9 @@ from repro.core.topology import build_desktop_deployment
 def partition_scenario() -> None:
     print("=== Partition on the RPi edge deployment ===")
     deployment = build_rpi_deployment(batch_config=BatchConfig(max_message_count=1))
-    client = deployment.client
+    session = HyperProvService(deployment).session()
 
-    client.store_data("telemetry/0001", b"pre-partition reading")
-    deployment.drain()
+    session.store("telemetry/0001", b"pre-partition reading")
     print(f"  before partition: heights {deployment.fabric.ledger_heights()}")
 
     # The site loses two of its four devices (e.g. a switch failure).
@@ -37,18 +37,16 @@ def partition_scenario() -> None:
 
     # With only 2 of 4 organizations reachable the majority endorsement
     # policy cannot be satisfied — the write is rejected, not silently lost.
-    attempt = client.store_data("telemetry/0002", b"during partition")
-    deployment.drain()
-    print(f"  write during partition valid: {attempt.handle.is_valid} "
+    attempt = session.store("telemetry/0002", b"during partition")
+    print(f"  write during partition valid: {attempt.ok} "
           f"({attempt.handle.validation_code.value})")
 
     # Connectivity returns: new writes commit, and the peers that missed
     # blocks catch up from the ordering service.
     deployment.network.partitions.heal()
-    recovered = client.store_data("telemetry/0003", b"after heal")
-    deployment.drain()
+    recovered = session.store("telemetry/0003", b"after heal")
     heights = deployment.fabric.ledger_heights()
-    print(f"  write after heal valid: {recovered.handle.is_valid}")
+    print(f"  write after heal valid: {recovered.ok}")
     print(f"  heights after heal    : {heights}")
     assert len(set(heights.values())) == 1
 
@@ -61,10 +59,10 @@ def raft_scenario() -> None:
     leader = orderer.leader
     print(f"  raft cluster of {len(orderer.nodes)} elected leader: {leader.node_id}")
 
-    post = deployment.client.store_data("raft/item-1", b"ordered via raft")
-    deployment.drain()
-    print(f"  transaction committed in block {post.handle.commit_block} "
-          f"(latency {post.handle.latency_s * 1000:.0f} ms virtual)")
+    session = HyperProvService(deployment).session()
+    post = session.store("raft/item-1", b"ordered via raft")
+    print(f"  transaction committed in block {post.commit_block} "
+          f"(latency {post.latency_s * 1000:.0f} ms virtual)")
     replicated = sum(1 for node in orderer.nodes if len(node.log) > 0)
     print(f"  log replicated on {replicated}/{len(orderer.nodes)} orderer nodes")
 

@@ -38,7 +38,7 @@ def main() -> None:
         posts = pipeline.ingest_round()
         deployment.drain()
         print(f"round {round_index + 1}: stored {len(posts)} raw items "
-              f"(latest block {posts[-1].handle.commit_block})")
+              f"(latest block {posts[-1].commit_block})")
 
     # --- Derive: hourly summary over everything, then an anomaly report. ----
     summary = pipeline.derive(PipelineStage(name="hourly-summary", reduction_factor=0.2))

@@ -20,6 +20,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import StoreRequest
 from repro.core import build_desktop_deployment
 from repro.middleware.config import PipelineConfig
 
@@ -28,16 +29,16 @@ def main() -> None:
     deployment = build_desktop_deployment()
     client = deployment.client
     client.init()
+    store = client.as_store()
     print(f"Default middleware chain: {client.pipeline.middleware_names()}")
 
     # Seed a record to read back.
     payload = b"pressure=1013hPa station=tromso-01"
-    client.store_data("stations/tromso-01/pressure", payload)
-    deployment.drain()
+    store.store(StoreRequest(key="stations/tromso-01/pressure", data=payload))
 
     # 1. Without the cache, every get pays the peer round trip.
-    cold = client.get("stations/tromso-01/pressure")
-    warm = client.get("stations/tromso-01/pressure")
+    cold = store.get("stations/tromso-01/pressure")
+    warm = store.get("stations/tromso-01/pressure")
     print("\nCache disabled (paper behaviour):")
     print(f"  1st get: {cold.latency_s * 1000:.2f} ms   2nd get: {warm.latency_s * 1000:.2f} ms")
 
@@ -48,23 +49,25 @@ def main() -> None:
     print(f"\nReconfigured chain: {client.pipeline.middleware_names()}"
           f" + fabric endorsement batcher (size 4)")
 
-    miss = client.get("stations/tromso-01/pressure")
-    hit = client.get("stations/tromso-01/pressure")
+    miss = store.get("stations/tromso-01/pressure")
+    hit = store.get("stations/tromso-01/pressure")
     print(f"  miss: {miss.latency_s * 1000:.2f} ms   hit: {hit.latency_s * 1000:.3f} ms")
 
     # 3. A committed update invalidates the cached entry automatically.
-    client.store_data("stations/tromso-01/pressure", payload + b" corrected=true")
-    deployment.drain()
-    fresh = client.get("stations/tromso-01/pressure")
+    store.store(StoreRequest(key="stations/tromso-01/pressure",
+                             data=payload + b" corrected=true"))
+    fresh = store.get("stations/tromso-01/pressure")
     print(f"  after commit-invalidation, re-read: {fresh.latency_s * 1000:.2f} ms "
-          f"(checksum {fresh.payload.checksum[:12]}…)")
+          f"(checksum {fresh.checksum[:12]}…)")
 
     # 4. The batcher coalesces endorsed envelopes into one orderer send.
     for index in range(4):
-        client.post(
-            key=f"stations/tromso-01/batch-{index}",
-            checksum="ab" * 32,
-            location=f"file://batch/{index}",
+        store.submit(
+            StoreRequest(
+                key=f"stations/tromso-01/batch-{index}",
+                checksum="ab" * 32,
+                location=f"file://batch/{index}",
+            )
         )
     deployment.drain()
     flushes = deployment.fabric.metrics.get_counter("batcher.flushes").value

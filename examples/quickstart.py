@@ -2,9 +2,9 @@
 """Quickstart: store a data item with HyperProv and query its provenance.
 
 Builds the paper's desktop deployment (four x86-64 peers, a Solo orderer,
-an SSHFS-style off-chain storage node), stores one data item, and walks
-through the core operator set: ``store_data``, ``get``, ``check_hash``,
-``get_key_history`` and ``get_data``.
+an SSHFS-style off-chain storage node) and walks through the unified
+``ProvenanceStore`` API via a service session: futures-based ``submit``,
+``get``, ``verify``, ``history`` and the off-chain ``get_data`` fetch.
 
 Run with::
 
@@ -13,57 +13,61 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import HyperProvService
 from repro.core import build_desktop_deployment
 
 
 def main() -> None:
     # 1. Assemble the deployment (virtual hardware + Fabric network + storage).
     deployment = build_desktop_deployment()
-    client = deployment.client
-    client.init()
+    deployment.client.init()
+    service = HyperProvService(deployment)
     print("Deployment ready:")
     print(f"  peers   : {[peer.name for peer in deployment.peers]}")
     print(f"  orderer : {deployment.fabric.orderer_node} (Solo)")
     print(f"  storage : ssh://storage (off-chain)")
 
-    # 2. Store a data item: the payload goes to off-chain storage, the
-    #    checksum + pointer + creator certificate go on chain.
-    payload = b"temperature=21.5C humidity=40% station=tromso-01"
-    post = client.store_data(
-        key="stations/tromso-01/reading-0001",
-        data=payload,
-        metadata={"unit": "celsius", "station": "tromso-01"},
-    )
-    deployment.drain()  # let the orderer cut the block and the peers commit
-    print("\nStoreData committed:")
-    print(f"  tx id        : {post.handle.tx_id}")
-    print(f"  block        : {post.handle.commit_block}")
-    print(f"  chain latency: {post.handle.latency_s * 1000:.1f} ms (virtual)")
-    print(f"  checksum     : {post.record.checksum[:16]}…")
-    print(f"  location     : {post.storage_receipt.location}")
+    with service.session() as session:
+        # 2. Submit a data item: the payload goes to off-chain storage, the
+        #    checksum + pointer + creator certificate go on chain.  submit()
+        #    is non-blocking — the returned future completes at commit.
+        payload = b"temperature=21.5C humidity=40% station=tromso-01"
+        handle = session.submit(
+            "stations/tromso-01/reading-0001",
+            payload,
+            metadata={"unit": "celsius", "station": "tromso-01"},
+        )
+        print(f"\nSubmitted (in flight: {session.in_flight}, done: {handle.done})")
+        session.drain()  # let the orderer cut the block and the peers commit
+        print("StoreData committed:")
+        print(f"  tx id        : {handle.handle.tx_id}")
+        print(f"  block        : {handle.commit_block}")
+        print(f"  total latency: {handle.latency_s * 1000:.1f} ms (virtual)")
+        print(f"  checksum     : {handle.record.checksum[:16]}…")
+        print(f"  location     : {handle.storage_receipt.location}")
 
-    # 3. Query the provenance record back.
-    record = client.get("stations/tromso-01/reading-0001").payload
-    print("\nOn-chain record:")
-    print(f"  creator      : {record.creator} ({record.organization})")
-    print(f"  cert         : {record.certificate_fingerprint}")
-    print(f"  size         : {record.size_bytes} bytes")
+        # 3. Query the provenance record back (a typed RecordView).
+        view = session.get("stations/tromso-01/reading-0001")
+        print("\nOn-chain record:")
+        print(f"  creator      : {view.creator} ({view.organization})")
+        print(f"  size         : {view.size_bytes} bytes")
+        print(f"  read latency : {view.latency_s * 1000:.1f} ms")
 
-    # 4. Verify integrity: the chain vouches for the checksum.
-    assert client.check_hash("stations/tromso-01/reading-0001", payload).payload
-    assert not client.check_hash("stations/tromso-01/reading-0001", b"tampered").payload
-    print("\nIntegrity check against the chain: OK (tampered copy rejected)")
+        # 4. Verify integrity: the chain vouches for the checksum.
+        assert session.verify("stations/tromso-01/reading-0001", payload)
+        assert not session.verify("stations/tromso-01/reading-0001", b"tampered")
+        print("\nIntegrity check against the chain: OK (tampered copy rejected)")
 
-    # 5. Update the item and inspect its operation history.
-    client.store_data("stations/tromso-01/reading-0001", payload + b" corrected=true")
-    deployment.drain()
-    history = client.get_key_history("stations/tromso-01/reading-0001").payload
-    print(f"\nKey history has {len(history)} versions:")
-    for entry in history:
-        print(f"  block {entry['block']}: checksum {entry['record'].checksum[:16]}…")
+        # 5. Update the item and inspect its operation history.
+        session.store("stations/tromso-01/reading-0001", payload + b" corrected=true")
+        history = session.history("stations/tromso-01/reading-0001")
+        print(f"\nKey history has {len(history)} versions:")
+        for entry in history:
+            print(f"  block {entry.block}: checksum {entry.view.checksum[:16]}…")
 
-    # 6. Fetch the data back through the on-chain pointer and verify it.
-    result = client.get_data("stations/tromso-01/reading-0001")
+    # 6. Fetch the data back through the on-chain pointer and verify it
+    #    (get_data spans chain + off-chain storage, beyond the protocol core).
+    result = deployment.client.get_data("stations/tromso-01/reading-0001")
     print("\nget_data:")
     print(f"  verified     : {result.verified}")
     print(f"  bytes        : {len(result.data)}")

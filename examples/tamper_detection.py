@@ -18,6 +18,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import StoreRequest
 from repro.baselines.centraldb import CentralProvenanceDatabase
 from repro.baselines.provchain import PowProvenanceChain
 from repro.common.hashing import checksum_of
@@ -34,9 +35,8 @@ FORGED = b"batch-42: 1000 units, QA passed (revised: 900 units)"
 def hyperprov_scenario() -> None:
     print("=== HyperProv (permissioned blockchain) ===")
     deployment = build_desktop_deployment()
-    client = deployment.client
-    client.store_data("audit/batch-42", ORIGINAL)
-    deployment.drain()
+    store = deployment.client.as_store()
+    store.store(StoreRequest(key="audit/batch-42", data=ORIGINAL))
 
     # A compromised peer rewrites the record inside its local block store.
     victim = deployment.peers[0]
@@ -51,35 +51,37 @@ def hyperprov_scenario() -> None:
 
     # Clients talking to honest peers still get the true record, and the
     # stored data still matches the chain.
-    record = client.get("audit/batch-42").payload
+    record = store.get("audit/batch-42")
     print(f"  on-chain checksum matches original data : "
-          f"{record.matches_checksum(checksum_of(ORIGINAL))}")
-    print(f"  forged data accepted by check_hash       : "
-          f"{client.check_hash('audit/batch-42', FORGED).payload}")
+          f"{record.checksum == checksum_of(ORIGINAL)}")
+    print(f"  forged data accepted by verify           : "
+          f"{bool(store.verify('audit/batch-42', FORGED))}")
 
 
 def provchain_scenario() -> None:
     print("\n=== ProvChain-style Proof-of-Work ledger ===")
     miner = DeviceModel("rpi-miner", RASPBERRY_PI_3B_PLUS)
     chain = PowProvenanceChain(miner, difficulty_bits=20)
-    result = chain.store_data("audit/batch-42", ORIGINAL)
+    store = chain.as_store()
+    result = store.store(StoreRequest(key="audit/batch-42", data=ORIGINAL))
     power = PowerModel(miner).power_over((0.0, max(result.latency_s, 1e-9))).watts
     print(f"  mining one record took {result.latency_s:.2f} s of virtual time "
           f"at {power:.1f} W on an RPi")
     chain.tamper("audit/batch-42", checksum_of(FORGED))
-    print(f"  chain verifies after tampering: {chain.verify_chain()} (detected)")
+    print(f"  audit after tampering: {store.audit()} (detected)")
 
 
 def central_db_scenario() -> None:
     print("\n=== Centralized provenance database ===")
     server = DeviceModel("db-server", XEON_E5_1603)
     database = CentralProvenanceDatabase(server_device=server)
-    database.store_data("audit/batch-42", ORIGINAL)
+    store = database.as_store()
+    store.store(StoreRequest(key="audit/batch-42", data=ORIGINAL))
     database.tamper("audit/batch-42", checksum_of(FORGED))
-    rewritten = database.get("audit/batch-42")
+    rewritten = store.get("audit/batch-42")
     print(f"  record now claims checksum of forged data: "
           f"{rewritten.checksum == checksum_of(FORGED)}")
-    print(f"  tampering detected: {bool(database.detect_tampering())} "
+    print(f"  audit still looks clean: {store.audit()} "
           "(nothing to detect it with)")
 
 

@@ -7,22 +7,25 @@ The package is organized bottom-up:
   :mod:`repro.consensus`, :mod:`repro.fabric`, :mod:`repro.chaincode`,
   :mod:`repro.storage`, :mod:`repro.devices`, :mod:`repro.energy`,
 * the paper's contribution — :mod:`repro.core` (client library and
-  deployments) and :mod:`repro.provenance` (OPM lineage),
+  deployments), :mod:`repro.api` (the unified ``ProvenanceStore``
+  protocol and tenant-sessioned service facade) and
+  :mod:`repro.provenance` (OPM lineage),
 * evaluation — :mod:`repro.workloads`, :mod:`repro.baselines`,
   :mod:`repro.bench`.
 
 Quickstart::
 
-    from repro.core import build_desktop_deployment
+    from repro import HyperProvService, build_desktop_deployment
 
-    deployment = build_desktop_deployment()
-    client = deployment.client
-    post = client.store_data("sensors/s1/r1", b"21.5 C")
-    deployment.drain()
-    record = client.get("sensors/s1/r1").payload
-    assert record.checksum == post.record.checksum
+    service = HyperProvService(build_desktop_deployment())
+    with service.session() as session:
+        handle = session.submit("sensors/s1/r1", b"21.5 C")  # a future
+        session.drain()
+        record = session.get("sensors/s1/r1")
+        assert record.checksum == handle.record.checksum
 """
 
+from repro.api import HyperProvService, ProvenanceStore, StoreRequest
 from repro.core import (
     HyperProvClient,
     HyperProvDeployment,
@@ -32,11 +35,14 @@ from repro.core import (
 )
 from repro.chaincode.records import ProvenanceRecord
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HyperProvClient",
     "HyperProvDeployment",
+    "HyperProvService",
+    "ProvenanceStore",
+    "StoreRequest",
     "build_deployment",
     "build_desktop_deployment",
     "build_rpi_deployment",

@@ -1,0 +1,319 @@
+"""``ProvenanceStore`` adapters for the three provenance backends.
+
+Each adapter translates the protocol's typed envelopes onto one backend's
+internal machinery — the HyperProv client pipeline, the central database,
+or the PoW chain — so callers never touch the three historical ad-hoc
+surfaces.  The adapters call the backends' *internal* implementations
+(`_store_data_impl`, `_execute`, …), which is what lets the legacy public
+methods shrink to deprecated shims without double-dispatching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.baselines.centraldb import CentralProvenanceDatabase
+from repro.baselines.provchain import PowProvenanceChain
+from repro.chaincode.records import ProvenanceRecord
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.common.hashing import checksum_of
+from repro.api.protocol import (
+    HistoryEntryView,
+    HistoryView,
+    RecordView,
+    StoreRequest,
+    SubmitHandle,
+    VerifyResult,
+)
+from repro.middleware.context import OperationKind
+
+
+class _StoreBase:
+    """Shared conveniences: blocking ``store`` and lifecycle no-ops."""
+
+    backend_name = "store"
+
+    def submit(self, request: StoreRequest, at_time: Optional[float] = None) -> SubmitHandle:
+        raise NotImplementedError
+
+    def store(self, request: StoreRequest, at_time: Optional[float] = None) -> SubmitHandle:
+        """Blocking write: submit, then drain until the handle completes."""
+        handle = self.submit(request, at_time=at_time)
+        if not handle.done:
+            self.drain()
+        return handle
+
+    def drain(self) -> None:
+        """Synchronous backends have nothing in flight."""
+
+    def close(self) -> None:
+        pipeline = getattr(getattr(self, "backend", None), "pipeline", None)
+        if pipeline is not None:
+            pipeline.close()
+
+
+class HyperProvStore(_StoreBase):
+    """The HyperProv client behind the unified protocol.
+
+    Writes are genuinely non-blocking: ``submit`` returns while the
+    endorsed envelope may still sit in the client-side endorsement
+    batcher or the orderer's block cutter; ``drain`` flushes both and
+    runs the simulation until every handle completes.
+    """
+
+    backend_name = "hyperprov"
+
+    def __init__(self, client: Any) -> None:
+        # ``Any`` instead of HyperProvClient: the client imports this
+        # module lazily (as_store), a type import would be circular.
+        self.client = client
+
+    # -------------------------------------------------------------- attrs
+    @property
+    def backend(self) -> Any:
+        return self.client
+
+    @property
+    def storage(self):
+        """The client's off-chain content store (``None`` if detached)."""
+        return self.client.storage
+
+    # -------------------------------------------------------------- writes
+    def submit(self, request: StoreRequest, at_time: Optional[float] = None) -> SubmitHandle:
+        if request.is_metadata_only:
+            if not request.checksum or not request.location:
+                raise ValidationError(
+                    "metadata-only StoreRequest needs both checksum and location"
+                )
+            post = self.client._post(
+                "post",
+                key=request.key,
+                checksum=request.checksum,
+                location=request.location,
+                dependencies=list(request.dependencies),
+                metadata=dict(request.metadata),
+                size_bytes=request.size_bytes,
+                at_time=at_time,
+            )
+        else:
+            post = self.client._store_data_impl(
+                request.key,
+                request.data,
+                dependencies=list(request.dependencies),
+                metadata=dict(request.metadata),
+                at_time=at_time,
+            )
+        return SubmitHandle(
+            request=request,
+            backend=self.backend_name,
+            record=post.record,
+            handle=post.handle,
+            storage_receipt=post.storage_receipt,
+            raw=post,
+        )
+
+    # --------------------------------------------------------------- reads
+    def get(self, key: str, at_time: Optional[float] = None) -> RecordView:
+        query = self.client._get_impl(key, at_time=at_time)
+        return RecordView.from_record(query.payload, latency_s=query.latency_s)
+
+    def history(self, key: str, at_time: Optional[float] = None) -> HistoryView:
+        query = self.client._get_key_history_impl(key, at_time=at_time)
+        entries = []
+        for row in query.payload:
+            if row.get("deleted"):
+                entries.append(HistoryEntryView(view=None, tx_id=row.get("tx_id"), deleted=True))
+            else:
+                entries.append(
+                    HistoryEntryView(
+                        view=RecordView.from_record(row["record"]),
+                        tx_id=row.get("tx_id"),
+                        block=row.get("block"),
+                    )
+                )
+        return HistoryView(key=key, entries=tuple(entries), latency_s=query.latency_s)
+
+    def verify(
+        self,
+        key: str,
+        data_or_checksum: Union[bytes, bytearray, str],
+        at_time: Optional[float] = None,
+    ) -> VerifyResult:
+        query = self.client._check_hash_impl(key, data_or_checksum, at_time=at_time)
+        return VerifyResult(key=key, matches=bool(query.payload), latency_s=query.latency_s)
+
+    def audit(self) -> bool:
+        """Every peer's block chain verifies and all heights agree."""
+        peers = self.client.network.peers
+        heights = {peer.ledger_height for peer in peers}
+        return len(heights) <= 1 and all(
+            peer.block_store.verify_chain() for peer in peers
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def drain(self) -> None:
+        self.client.network.flush_and_drain()
+
+
+class CentralDbStore(_StoreBase):
+    """The centralized-database baseline behind the unified protocol."""
+
+    backend_name = "central-db"
+
+    def __init__(self, database: CentralProvenanceDatabase) -> None:
+        self.backend = database
+
+    def submit(self, request: StoreRequest, at_time: Optional[float] = None) -> SubmitHandle:
+        start = at_time or 0.0
+        record = self._record_for(request, start)
+        result = self.backend._execute(
+            "store_record",
+            OperationKind.WRITE,
+            [record.key],
+            record=record,
+            at_time=start,
+            payload_bytes=len(request.data or b""),
+        )
+        return SubmitHandle(
+            request=request,
+            backend=self.backend_name,
+            record=result.record,
+            raw=result,
+            latency_s=result.latency_s,
+            completed_at=result.completed_at,
+        )
+
+    def _record_for(self, request: StoreRequest, at_time: float) -> ProvenanceRecord:
+        checksum = request.checksum or checksum_of(request.data or b"")
+        return ProvenanceRecord(
+            key=request.key,
+            checksum=checksum,
+            location=request.location or f"db://{self.backend.server_node}/{request.key}",
+            creator=request.creator or "client",
+            organization="central",
+            certificate_fingerprint="",
+            dependencies=list(request.dependencies),
+            metadata=dict(request.metadata),
+            size_bytes=request.size_bytes or len(request.data or b""),
+            timestamp=at_time,
+        )
+
+    def get(self, key: str, at_time: Optional[float] = None) -> RecordView:
+        record = self.backend._execute("get", OperationKind.READ, [key])
+        return RecordView.from_record(record)
+
+    def history(self, key: str, at_time: Optional[float] = None) -> HistoryView:
+        records = self.backend._execute("history", OperationKind.READ, [key])
+        entries = tuple(
+            HistoryEntryView(view=RecordView.from_record(record), tx_id=str(index))
+            for index, record in enumerate(records)
+        )
+        return HistoryView(key=key, entries=entries)
+
+    def verify(
+        self,
+        key: str,
+        data_or_checksum: Union[bytes, bytearray, str],
+        at_time: Optional[float] = None,
+    ) -> VerifyResult:
+        checksum = _as_checksum(data_or_checksum)
+        record = self.backend._execute("get", OperationKind.READ, [key])
+        return VerifyResult(key=key, matches=record.checksum == checksum)
+
+    def audit(self) -> bool:
+        """No integrity record exists, so an audit always looks clean."""
+        return not self.backend.detect_tampering()
+
+
+class PowChainStore(_StoreBase):
+    """The ProvChain-style PoW baseline behind the unified protocol."""
+
+    backend_name = "provchain-pow"
+
+    def __init__(self, chain: PowProvenanceChain) -> None:
+        self.backend = chain
+
+    def submit(self, request: StoreRequest, at_time: Optional[float] = None) -> SubmitHandle:
+        start = at_time or 0.0
+        record = self._record_for(request, start)
+        result = self.backend._execute(
+            "store_record",
+            OperationKind.WRITE,
+            [record.key],
+            record=record,
+            at_time=start,
+        )
+        return SubmitHandle(
+            request=request,
+            backend=self.backend_name,
+            record=result.entry.record,
+            raw=result,
+            latency_s=result.latency_s,
+            completed_at=result.entry.recorded_at,
+        )
+
+    def _record_for(self, request: StoreRequest, at_time: float) -> ProvenanceRecord:
+        checksum = request.checksum or checksum_of(request.data or b"")
+        return ProvenanceRecord(
+            key=request.key,
+            checksum=checksum,
+            location=request.location or f"pow://{request.key}",
+            creator=request.creator or "miner",
+            organization="pow-org",
+            certificate_fingerprint="",
+            dependencies=list(request.dependencies),
+            metadata=dict(request.metadata),
+            size_bytes=request.size_bytes or len(request.data or b""),
+            timestamp=at_time,
+        )
+
+    def get(self, key: str, at_time: Optional[float] = None) -> RecordView:
+        entry = self.backend._execute("get", OperationKind.READ, [key])
+        return RecordView.from_record(entry.record)
+
+    def history(self, key: str, at_time: Optional[float] = None) -> HistoryView:
+        entries = self.backend._execute("history", OperationKind.READ, [key])
+        views = tuple(
+            HistoryEntryView(
+                view=RecordView.from_record(entry.record),
+                tx_id=entry.chain_hash,
+                block=entry.index,
+            )
+            for entry in entries
+        )
+        return HistoryView(key=key, entries=views)
+
+    def verify(
+        self,
+        key: str,
+        data_or_checksum: Union[bytes, bytearray, str],
+        at_time: Optional[float] = None,
+    ) -> VerifyResult:
+        checksum = _as_checksum(data_or_checksum)
+        entry = self.backend._execute("get", OperationKind.READ, [key])
+        return VerifyResult(key=key, matches=entry.record.checksum == checksum)
+
+    def audit(self) -> bool:
+        """Re-play the hash chain: tampered entries break it."""
+        return self.backend.verify_chain()
+
+
+def _as_checksum(data_or_checksum: Union[bytes, bytearray, str]) -> str:
+    if isinstance(data_or_checksum, (bytes, bytearray)):
+        return checksum_of(data_or_checksum)
+    return str(data_or_checksum)
+
+
+def adapt_store(backend: Any):
+    """Wrap any known backend in its :class:`ProvenanceStore` adapter."""
+    if hasattr(backend, "as_store") and getattr(backend, "_store_adapter", None):
+        return backend._store_adapter
+    if isinstance(backend, CentralProvenanceDatabase):
+        return CentralDbStore(backend)
+    if isinstance(backend, PowProvenanceChain):
+        return PowChainStore(backend)
+    if hasattr(backend, "_store_data_impl"):  # HyperProvClient (lazy import cycle)
+        return HyperProvStore(backend)
+    raise ConfigurationError(
+        f"{type(backend).__name__} is not a known provenance backend"
+    )

@@ -1,0 +1,230 @@
+"""Sessioned service facade over a HyperProv deployment.
+
+:class:`HyperProvService` turns a deployment into a multi-tenant service:
+each :meth:`~HyperProvService.session` hands out a
+:class:`ProvenanceSession` bound to one tenant namespace with its own
+middleware pipeline (tenant key-prefixing, optional per-tenant in-flight
+admission cap).  The session's write path is non-blocking — ``submit()``
+returns a :class:`~repro.api.protocol.SubmitHandle` future and multiple
+endorsed envelopes stay in flight through the endorsement batcher —
+while ``drain()`` (or leaving the session's ``with`` block) awaits
+commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.api.protocol import (
+    HistoryView,
+    ProvenanceStore,
+    RecordView,
+    StoreRequest,
+    SubmitHandle,
+    VerifyResult,
+)
+from repro.middleware.config import PipelineConfig
+from repro.middleware.tenancy import (
+    AdmissionControlMiddleware,
+    InFlightCounter,
+    strip_namespace,
+)
+
+
+class ProvenanceSession:
+    """One tenant's handle on a provenance store.
+
+    All keys are tenant-relative: the pipeline's tenant-prefix middleware
+    maps them into ``tenant/<name>/…`` on the way down and the session
+    strips the namespace from every returned view, so application code is
+    identical in single- and multi-tenant deployments.
+    """
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        tenant: str = "",
+        owns_store: bool = False,
+    ) -> None:
+        #: The underlying :class:`ProvenanceStore` adapter.
+        self.backend = store
+        self.tenant = tenant
+        self._owns_store = owns_store
+        self._handles: List[SubmitHandle] = []
+        self._submitted = 0
+        self._closed = False
+
+    # ------------------------------------------------------------ utilities
+    def _strip(self, key: str) -> str:
+        return strip_namespace(self.tenant, key) if self.tenant else key
+
+    @property
+    def in_flight(self) -> int:
+        """Submissions not yet committed."""
+        return sum(1 for handle in self._handles if not handle.done)
+
+    @property
+    def submitted(self) -> int:
+        """Total submissions made through this session (never resets)."""
+        return self._submitted
+
+    # -------------------------------------------------------------- writes
+    def submit(
+        self,
+        key: str,
+        data: Optional[bytes] = None,
+        *,
+        checksum: Optional[str] = None,
+        location: Optional[str] = None,
+        dependencies: Tuple[str, ...] = (),
+        metadata: Optional[Dict[str, Any]] = None,
+        size_bytes: int = 0,
+        at_time: Optional[float] = None,
+    ) -> SubmitHandle:
+        """Non-blocking write; the returned future completes at commit.
+
+        Raises :class:`~repro.common.errors.AdmissionRejectedError` when
+        the session's tenant is at its in-flight cap.
+        """
+        request = StoreRequest(
+            key=key,
+            data=data,
+            checksum=checksum,
+            location=location,
+            dependencies=tuple(dependencies),
+            metadata=dict(metadata or {}),
+            size_bytes=size_bytes,
+        )
+        handle = self.backend.submit(request, at_time=at_time)
+        self._submitted += 1
+        self._handles.append(handle)
+        return handle
+
+    def store(self, key: str, data: Optional[bytes] = None, **kwargs: Any) -> SubmitHandle:
+        """Blocking write: ``submit`` then ``drain``."""
+        handle = self.submit(key, data, **kwargs)
+        if not handle.done:
+            self.drain()
+        return handle
+
+    # --------------------------------------------------------------- reads
+    def get(self, key: str, at_time: Optional[float] = None) -> RecordView:
+        view = self.backend.get(key, at_time=at_time)
+        return view.relative_to(self._strip)
+
+    def history(self, key: str, at_time: Optional[float] = None) -> HistoryView:
+        history = self.backend.history(key, at_time=at_time)
+        entries = tuple(
+            replace(entry, view=entry.view.relative_to(self._strip))
+            if entry.view is not None
+            else entry
+            for entry in history.entries
+        )
+        return HistoryView(key=key, entries=entries, latency_s=history.latency_s)
+
+    def verify(
+        self,
+        key: str,
+        data_or_checksum: Union[bytes, bytearray, str],
+        at_time: Optional[float] = None,
+    ) -> VerifyResult:
+        return self.backend.verify(key, data_or_checksum, at_time=at_time)
+
+    def audit(self) -> bool:
+        return self.backend.audit()
+
+    # ------------------------------------------------------------ lifecycle
+    def drain(self) -> None:
+        """Await every in-flight submission made through this session.
+
+        Always drains the backend — closed-loop callers schedule future
+        submissions on the simulation engine, so there can be work pending
+        even when no handle is currently in flight.
+        """
+        self.backend.drain()
+        # Completed handles no longer need tracking.
+        self._handles = [handle for handle in self._handles if not handle.done]
+
+    def close(self) -> None:
+        """Drain, then release the session's pipeline (if it owns one)."""
+        if self._closed:
+            return
+        self.drain()
+        if self._owns_store:
+            self.backend.close()
+        self._closed = True
+
+    def __enter__(self) -> "ProvenanceSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tenant = self.tenant or "<default>"
+        return (
+            f"<ProvenanceSession tenant={tenant} backend={self.backend.backend_name} "
+            f"in_flight={self.in_flight}>"
+        )
+
+
+class HyperProvService:
+    """Service facade: tenant sessions over one HyperProv deployment."""
+
+    def __init__(self, deployment: Any) -> None:
+        self.deployment = deployment
+        #: One in-flight counter per tenant, shared across its sessions,
+        #: so the admission cap is per tenant rather than per session.
+        self._admission_counters: Dict[str, InFlightCounter] = {}
+
+    def session(
+        self,
+        tenant: Optional[str] = None,
+        pipeline: Optional[PipelineConfig] = None,
+        max_in_flight: int = 0,
+    ) -> ProvenanceSession:
+        """Open a session.
+
+        Without a tenant (and no cap) the session wraps the deployment's
+        stock client — byte-for-byte the single-tenant behaviour, with
+        ``pipeline`` applied the way benchmarks always did.  With a tenant
+        or a cap, the session gets its own client whose pipeline includes
+        the tenant-prefix and admission-control middlewares; the network,
+        identity and off-chain storage are shared.
+        """
+        if tenant is None and max_in_flight == 0:
+            client = self.deployment.client
+            if pipeline is not None:
+                client.configure_pipeline(pipeline)
+            return ProvenanceSession(client.as_store(), tenant="")
+
+        from repro.core.client import HyperProvClient
+
+        config = replace(
+            pipeline or PipelineConfig(),
+            tenant=tenant or "",
+            max_in_flight=max_in_flight,
+        )
+        client = HyperProvClient(
+            network=self.deployment.fabric,
+            client_name=self.deployment.client.client_name,
+            storage=self.deployment.storage,
+            pipeline_config=config,
+        )
+        if config.max_in_flight > 0:
+            admission = client.pipeline.find(AdmissionControlMiddleware)
+            if admission is not None:
+                counter = self._admission_counters.setdefault(
+                    config.tenant, InFlightCounter()
+                )
+                admission.adopt_counter(counter)
+        if pipeline is not None:
+            self.deployment.fabric.set_order_batch_size(config.order_batch_size)
+        return ProvenanceSession(
+            client.as_store(), tenant=tenant or "", owns_store=True
+        )
+
+    def drain(self) -> None:
+        """Flush pending batches and run the simulation to quiescence."""
+        self.deployment.drain()

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.baselines.pipeline_support import PipelinedStoreMixin
 from repro.chaincode.records import ProvenanceRecord
+from repro.common.deprecation import warn_deprecated
 from repro.common.errors import NotFoundError
 from repro.common.hashing import checksum_of
 from repro.common.metrics import MetricsRegistry
@@ -64,7 +65,13 @@ class CentralProvenanceDatabase(PipelinedStoreMixin):
         client_node: Optional[str] = None,
         payload_bytes: int = 0,
     ) -> CentralStoreResult:
-        """Store a provenance record; costs one round trip plus a disk write."""
+        """Store a provenance record; costs one round trip plus a disk write.
+
+        .. deprecated:: shim over ``ProvenanceStore.submit`` (see ``as_store``).
+        """
+        warn_deprecated(
+            "CentralProvenanceDatabase.store_record", "ProvenanceStore.submit"
+        )
         return self._execute(
             "store_record",
             OperationKind.WRITE,
@@ -103,7 +110,13 @@ class CentralProvenanceDatabase(PipelinedStoreMixin):
         at_time: float = 0.0,
         client_node: Optional[str] = None,
     ) -> CentralStoreResult:
-        """Convenience wrapper mirroring HyperProv's ``store_data`` shape."""
+        """Convenience wrapper mirroring HyperProv's ``store_data`` shape.
+
+        .. deprecated:: shim over ``ProvenanceStore.submit`` (see ``as_store``).
+        """
+        warn_deprecated(
+            "CentralProvenanceDatabase.store_data", "ProvenanceStore.submit"
+        )
         record = ProvenanceRecord(
             key=key,
             checksum=checksum_of(data),
@@ -114,12 +127,23 @@ class CentralProvenanceDatabase(PipelinedStoreMixin):
             size_bytes=len(data),
             timestamp=at_time,
         )
-        return self.store_record(
-            record, at_time=at_time, client_node=client_node, payload_bytes=len(data)
+        return self._execute(
+            "store_record",
+            OperationKind.WRITE,
+            [record.key],
+            record=record,
+            at_time=at_time,
+            client_node=client_node,
+            payload_bytes=len(data),
         )
 
     # ------------------------------------------------------------------- read
     def get(self, key: str) -> ProvenanceRecord:
+        """Latest record for ``key``.
+
+        .. deprecated:: shim over ``ProvenanceStore.get`` (see ``as_store``).
+        """
+        warn_deprecated("CentralProvenanceDatabase.get", "ProvenanceStore.get")
         return self._execute("get", OperationKind.READ, [key])
 
     def _get_impl(self, key: str) -> ProvenanceRecord:
@@ -129,6 +153,11 @@ class CentralProvenanceDatabase(PipelinedStoreMixin):
         return history[-1]
 
     def history(self, key: str) -> List[ProvenanceRecord]:
+        """Every version of ``key``, oldest first.
+
+        .. deprecated:: shim over ``ProvenanceStore.history`` (see ``as_store``).
+        """
+        warn_deprecated("CentralProvenanceDatabase.history", "ProvenanceStore.history")
         return self._execute("history", OperationKind.READ, [key])
 
     def _history_impl(self, key: str) -> List[ProvenanceRecord]:
@@ -146,7 +175,7 @@ class CentralProvenanceDatabase(PipelinedStoreMixin):
         replicated ledger to contradict the rewrite.  This is the property
         HyperProv is designed to prevent.
         """
-        current = self.get(key)
+        current = self._execute("get", OperationKind.READ, [key])
         tampered = ProvenanceRecord(
             key=current.key,
             checksum=new_checksum,

@@ -26,6 +26,16 @@ class PipelinedStoreMixin:
     #: Pipeline-context namespace; subclasses override (e.g. ``"centraldb"``).
     chaincode_label = "baseline"
 
+    def as_store(self):
+        """This baseline as a unified :class:`repro.api.ProvenanceStore`."""
+        adapter = getattr(self, "_store_adapter", None)
+        if adapter is None:
+            from repro.api.adapters import adapt_store
+
+            adapter = adapt_store(self)
+            self._store_adapter = adapter
+        return adapter
+
     def _init_pipeline(
         self,
         pipeline_config: Optional[PipelineConfig],

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.baselines.pipeline_support import PipelinedStoreMixin
 from repro.chaincode.records import ProvenanceRecord
+from repro.common.deprecation import warn_deprecated
 from repro.common.errors import NotFoundError, ValidationError
 from repro.common.hashing import HashChain, checksum_of
 from repro.common.metrics import MetricsRegistry
@@ -68,7 +69,11 @@ class PowProvenanceChain(PipelinedStoreMixin):
 
     # ------------------------------------------------------------------ write
     def store_record(self, record: ProvenanceRecord, at_time: float = 0.0) -> PowStoreResult:
-        """Mine a block anchoring ``record``; the miner CPU is busy throughout."""
+        """Mine a block anchoring ``record``; the miner CPU is busy throughout.
+
+        .. deprecated:: shim over ``ProvenanceStore.submit`` (see ``as_store``).
+        """
+        warn_deprecated("PowProvenanceChain.store_record", "ProvenanceStore.submit")
         return self._execute(
             "store_record", OperationKind.WRITE, [record.key],
             record=record, at_time=at_time,
@@ -103,7 +108,11 @@ class PowProvenanceChain(PipelinedStoreMixin):
         self, key: str, data: bytes, creator: str = "miner", organization: str = "pow-org",
         at_time: float = 0.0,
     ) -> PowStoreResult:
-        """Convenience wrapper mirroring HyperProv's ``store_data`` shape."""
+        """Convenience wrapper mirroring HyperProv's ``store_data`` shape.
+
+        .. deprecated:: shim over ``ProvenanceStore.submit`` (see ``as_store``).
+        """
+        warn_deprecated("PowProvenanceChain.store_data", "ProvenanceStore.submit")
         record = ProvenanceRecord(
             key=key,
             checksum=checksum_of(data),
@@ -114,10 +123,18 @@ class PowProvenanceChain(PipelinedStoreMixin):
             size_bytes=len(data),
             timestamp=at_time,
         )
-        return self.store_record(record, at_time=at_time)
+        return self._execute(
+            "store_record", OperationKind.WRITE, [record.key],
+            record=record, at_time=at_time,
+        )
 
     # ------------------------------------------------------------------- read
     def get(self, key: str) -> PowChainEntry:
+        """Latest entry for ``key``.
+
+        .. deprecated:: shim over ``ProvenanceStore.get`` (see ``as_store``).
+        """
+        warn_deprecated("PowProvenanceChain.get", "ProvenanceStore.get")
         return self._execute("get", OperationKind.READ, [key])
 
     def _get_impl(self, key: str) -> PowChainEntry:
@@ -127,6 +144,11 @@ class PowProvenanceChain(PipelinedStoreMixin):
         return self._entries[index]
 
     def history(self, key: str) -> List[PowChainEntry]:
+        """Every entry for ``key``, oldest first.
+
+        .. deprecated:: shim over ``ProvenanceStore.history`` (see ``as_store``).
+        """
+        warn_deprecated("PowProvenanceChain.history", "ProvenanceStore.history")
         return self._execute("history", OperationKind.READ, [key])
 
     def _history_impl(self, key: str) -> List[PowChainEntry]:
@@ -147,7 +169,7 @@ class PowProvenanceChain(PipelinedStoreMixin):
         The rewrite is applied to the local copy but :meth:`verify_chain`
         will subsequently fail — demonstrating tamper evidence.
         """
-        entry = self.get(key)
+        entry = self._execute("get", OperationKind.READ, [key])
         tampered = ProvenanceRecord(
             key=entry.record.key,
             checksum=new_checksum,

@@ -13,6 +13,7 @@ Module           Reproduces
 ``ablation_batch``   Orderer batch-size sweep
 ``ablation_consensus``  Solo vs Raft ordering
 ``ablation_cache``   Read-cache middleware on/off (repeated-get latency)
+``ablation_concurrency``  In-flight submission depth sweep (futures API)
 ===============  ==========================================================
 
 Run ``python -m repro.bench <experiment>`` or use the pytest-benchmark
@@ -28,6 +29,7 @@ from repro.bench.ops_table import run_ops_table
 from repro.bench.baseline_compare import run_baseline_comparison
 from repro.bench.ablation_batch import run_batch_ablation
 from repro.bench.ablation_cache import run_cache_ablation
+from repro.bench.ablation_concurrency import run_concurrency_ablation
 from repro.bench.ablation_consensus import run_consensus_ablation
 from repro.bench.ablation_fastfabric import run_fastfabric_ablation
 from repro.bench.resource_usage import run_resource_usage
@@ -46,6 +48,7 @@ __all__ = [
     "run_baseline_comparison",
     "run_batch_ablation",
     "run_cache_ablation",
+    "run_concurrency_ablation",
     "run_consensus_ablation",
     "run_fastfabric_ablation",
     "run_resource_usage",

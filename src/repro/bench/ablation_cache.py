@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.api.protocol import StoreRequest
 from repro.bench.reporting import ResultTable, format_seconds
 from repro.core.topology import build_desktop_deployment
 from repro.middleware.config import PipelineConfig
@@ -88,18 +89,19 @@ def run_cache_ablation(
         deployment = build_desktop_deployment(seed=seed)
         client = deployment.client
         client.configure_pipeline(variant.config)
+        store = client.as_store()
         generator = PayloadGenerator(size_bytes=payload_bytes, seed=seed, prefix="cache")
         items = [generator.next_item() for _ in range(keys)]
         for item in items:
-            client.store_data(key=item.key, data=item.data)
+            store.submit(StoreRequest(key=item.key, data=item.data))
             deployment.drain()
         for round_index in range(rounds):
             for item in items:
-                variant.latencies_s.append(client.get(item.key).latency_s)
+                variant.latencies_s.append(store.get(item.key).latency_s)
             if round_index == rounds - 2 and items:
                 # Re-record one key between the last two rounds so the
                 # commit-event invalidation path is part of the measurement.
-                client.store_data(key=items[0].key, data=items[0].data + b"!")
+                store.submit(StoreRequest(key=items[0].key, data=items[0].data + b"!"))
                 deployment.drain()
         hits = client.metrics.get_counter("cache.hits")
         misses = client.metrics.get_counter("cache.misses")

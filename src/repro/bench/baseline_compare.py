@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.api.protocol import StoreRequest
 from repro.baselines.centraldb import CentralProvenanceDatabase
 from repro.baselines.provchain import PowProvenanceChain
 from repro.bench.reporting import ResultTable, format_seconds
@@ -86,13 +87,14 @@ def _measure_provchain(requests: int, payload_bytes: int, seed: int,
     device = DeviceModel("rpi-miner", RASPBERRY_PI_3B_PLUS, rng=DeterministicRandom(seed))
     chain = PowProvenanceChain(device, difficulty_bits=difficulty_bits,
                                rng=DeterministicRandom(seed))
+    store = chain.as_store()
     generator = PayloadGenerator(size_bytes=payload_bytes, seed=seed, prefix="pow")
     cursor = 0.0
     latencies = []
     for item in generator.items(requests):
-        outcome = chain.store_data(item.key, item.data, at_time=cursor)
+        outcome = store.submit(StoreRequest(key=item.key, data=item.data), at_time=cursor)
         latencies.append(outcome.latency_s)
-        cursor = outcome.entry.recorded_at
+        cursor = outcome.committed_at
     makespan = max(cursor, 1e-9)
     power = PowerModel(device).power_over((0.0, makespan)).watts
     return SystemComparison(
@@ -107,13 +109,14 @@ def _measure_provchain(requests: int, payload_bytes: int, seed: int,
 def _measure_central_db(requests: int, payload_bytes: int, seed: int) -> SystemComparison:
     server = DeviceModel("db-server", XEON_E5_1603, rng=DeterministicRandom(seed))
     database = CentralProvenanceDatabase(server_device=server)
+    store = database.as_store()
     generator = PayloadGenerator(size_bytes=payload_bytes, seed=seed, prefix="central")
     cursor = 0.0
     latencies = []
     for item in generator.items(requests):
-        outcome = database.store_data(item.key, item.data, at_time=cursor)
+        outcome = store.submit(StoreRequest(key=item.key, data=item.data), at_time=cursor)
         latencies.append(outcome.latency_s)
-        cursor = outcome.completed_at
+        cursor = outcome.committed_at
     makespan = max(cursor, 1e-9)
     power = PowerModel(server).power_over((0.0, makespan)).watts
     return SystemComparison(

@@ -10,6 +10,7 @@ from repro.bench import (
     run_baseline_comparison,
     run_batch_ablation,
     run_cache_ablation,
+    run_concurrency_ablation,
     run_consensus_ablation,
     run_fastfabric_ablation,
     run_fig1,
@@ -56,14 +57,22 @@ def _note_read_only_flags(args: argparse.Namespace, table) -> None:
 
 
 def _run_fig1(args: argparse.Namespace) -> str:
-    series = run_fig1(requests_per_size=args.requests, pipeline=_pipeline_config(args))
+    series = run_fig1(
+        requests_per_size=args.requests,
+        pipeline=_pipeline_config(args),
+        concurrency=args.concurrency,
+    )
     table = series.to_table("Fig. 1 — desktop: throughput and response time vs data size")
     _note_read_only_flags(args, table)
     return table.render()
 
 
 def _run_fig2(args: argparse.Namespace) -> str:
-    series = run_fig2(requests_per_size=args.requests, pipeline=_pipeline_config(args))
+    series = run_fig2(
+        requests_per_size=args.requests,
+        pipeline=_pipeline_config(args),
+        concurrency=args.concurrency,
+    )
     table = series.to_table("Fig. 2 — RPi: throughput and response time vs data size")
     _note_read_only_flags(args, table)
     return table.render()
@@ -94,6 +103,10 @@ def _run_cache(args: argparse.Namespace) -> str:
     return run_cache_ablation().to_table().render()
 
 
+def _run_concurrency(args: argparse.Namespace) -> str:
+    return run_concurrency_ablation(requests=args.requests).to_table().render()
+
+
 def _run_consensus(args: argparse.Namespace) -> str:
     return run_consensus_ablation(requests=args.requests).to_table().render()
 
@@ -118,6 +131,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "baselines": _run_baselines,
     "ablation-batch": _run_batch,
     "ablation-cache": _run_cache,
+    "ablation-concurrency": _run_concurrency,
     "ablation-consensus": _run_consensus,
     "ablation-fastfabric": _run_fastfabric,
     "resources": _run_resources,
@@ -136,8 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="which experiment(s) to run ('all' runs every one)",
     )
     parser.add_argument(
-        "--requests", type=int, default=20,
+        "--requests", type=_positive_int, default=20,
         help="requests per measurement point (default: 20)",
+    )
+    parser.add_argument(
+        "--concurrency", type=_positive_int, default=None,
+        help="in-flight submissions the closed loop keeps outstanding on "
+             "fig1/fig2 (default: the runner's 16; ablation-concurrency "
+             "sweeps this knob)",
     )
     parser.add_argument(
         "--interval", type=float, default=600.0,

@@ -80,27 +80,29 @@ def run_fig1(
     batch_config: Optional[BatchConfig] = None,
     seed: int = 42,
     pipeline: Optional[PipelineConfig] = None,
+    concurrency: Optional[int] = None,
 ) -> FigureSeries:
     """Reproduce Fig. 1 on the simulated desktop testbed.
 
     A fresh deployment is built per data size so runs are independent
     (matching how the paper reports one measurement series per size).
     ``pipeline`` optionally swaps the client's middleware configuration for
-    ablations (cache, retry, endorsement batching).
+    ablations (cache, retry, endorsement batching); ``concurrency``
+    overrides the closed loop's in-flight depth.
     """
     series = FigureSeries(setup="desktop")
     for size in sizes:
         deployment = build_desktop_deployment(batch_config=batch_config, seed=seed)
         runner = StoreDataRunner(deployment)
-        result = runner.run(
-            RunConfig(
-                data_size_bytes=size,
-                request_count=requests_per_size,
-                seed=seed,
-                pipeline=pipeline,
-            )
+        config = RunConfig(
+            data_size_bytes=size,
+            request_count=requests_per_size,
+            seed=seed,
+            pipeline=pipeline,
         )
-        series.results.append(result)
+        if concurrency is not None:
+            config.concurrency = concurrency
+        series.results.append(runner.run(config))
     return series
 
 

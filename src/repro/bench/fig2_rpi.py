@@ -26,21 +26,22 @@ def run_fig2(
     batch_config: Optional[BatchConfig] = None,
     seed: int = 42,
     pipeline: Optional[PipelineConfig] = None,
+    concurrency: Optional[int] = None,
 ) -> FigureSeries:
     """Reproduce Fig. 2 on the simulated Raspberry Pi testbed."""
     series = FigureSeries(setup="rpi")
     for size in sizes:
         deployment = build_rpi_deployment(batch_config=batch_config, seed=seed)
         runner = StoreDataRunner(deployment)
-        result = runner.run(
-            RunConfig(
-                data_size_bytes=size,
-                request_count=requests_per_size,
-                seed=seed,
-                pipeline=pipeline,
-            )
+        config = RunConfig(
+            data_size_bytes=size,
+            request_count=requests_per_size,
+            seed=seed,
+            pipeline=pipeline,
         )
-        series.results.append(result)
+        if concurrency is not None:
+            config.concurrency = concurrency
+        series.results.append(runner.run(config))
     return series
 
 

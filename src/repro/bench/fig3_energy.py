@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.api.protocol import StoreRequest
 from repro.bench.reporting import ResultTable
 from repro.core.topology import build_rpi_deployment
 from repro.devices.model import DeviceModel
@@ -85,7 +86,7 @@ def _measure_load_level(
     """Run a StoreData load level on a fresh RPi deployment and meter the
     device that hosts both the peer and the client (as in the paper)."""
     deployment = build_rpi_deployment(seed=seed)
-    client = deployment.client
+    store = deployment.client.as_store()
     measured_device = deployment.client_device
 
     if rate_per_s > 0.0:
@@ -97,7 +98,7 @@ def _measure_load_level(
             item = generator.next_item()
             deployment.engine.schedule_at(
                 arrival,
-                lambda item=item: client.store_data(key=item.key, data=item.data),
+                lambda item=item: store.submit(StoreRequest(key=item.key, data=item.data)),
                 label="energy:store_data",
             )
         deployment.drain()

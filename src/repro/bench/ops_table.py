@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.api.protocol import StoreRequest
 from repro.bench.reporting import ResultTable, format_seconds
 from repro.middleware.metrics import STAGES
 from repro.core.topology import (
@@ -35,6 +36,7 @@ class OperatorLatencies:
 def _measure_setup(deployment: HyperProvDeployment, payload_bytes: int, repeats: int,
                    seed: int) -> OperatorLatencies:
     client = deployment.client
+    store = client.as_store()
     generator = PayloadGenerator(size_bytes=payload_bytes, seed=seed, prefix="ops")
     latencies: Dict[str, List[float]] = {
         "post": [], "store_data": [], "get": [], "get_key_history": [],
@@ -46,29 +48,31 @@ def _measure_setup(deployment: HyperProvDeployment, payload_bytes: int, repeats:
     # Write path: store_data (off-chain + on-chain) measured end to end.
     for item in items:
         start = deployment.engine.now
-        post = client.store_data(key=item.key, data=item.data)
+        post = store.submit(StoreRequest(key=item.key, data=item.data))
         deployment.drain()
-        if post.handle.is_complete and post.handle.is_valid:
-            latencies["store_data"].append(post.handle.committed_at - start)
+        if post.done and post.ok:
+            latencies["store_data"].append(post.committed_at - start)
 
     # Metadata-only post (data already stored elsewhere).
     for index, item in enumerate(items):
         start = deployment.engine.now
-        post = client.post(
-            key=f"ops/meta-{index}",
-            checksum=item.checksum,
-            location=f"file://preexisting/{index}",
-            size_bytes=item.size_bytes,
+        post = store.submit(
+            StoreRequest(
+                key=f"ops/meta-{index}",
+                checksum=item.checksum,
+                location=f"file://preexisting/{index}",
+                size_bytes=item.size_bytes,
+            )
         )
         deployment.drain()
-        if post.handle.is_complete and post.handle.is_valid:
-            latencies["post"].append(post.handle.committed_at - start)
+        if post.done and post.ok:
+            latencies["post"].append(post.committed_at - start)
 
     # Read path.
     for item in items:
-        latencies["get"].append(client.get(item.key).latency_s)
-        latencies["get_key_history"].append(client.get_key_history(item.key).latency_s)
-        latencies["check_hash"].append(client.check_hash(item.key, item.data).latency_s)
+        latencies["get"].append(store.get(item.key).latency_s)
+        latencies["get_key_history"].append(store.history(item.key).latency_s)
+        latencies["check_hash"].append(store.verify(item.key, item.data).latency_s)
         latencies["get_dependencies"].append(client.get_dependencies(item.key).latency_s)
         latencies["get_data"].append(client.get_data(item.key).latency_s)
 

@@ -2,11 +2,12 @@
 
 The paper's custom benchmarking program issues ``StoreData`` requests in a
 closed loop and reports the achieved throughput and the response time
-observed by the client.  The runner reproduces that: ``concurrency``
-logical request slots are kept outstanding; whenever a transaction commits
-on the client's anchor peer, the slot immediately issues the next request.
-Throughput and response times fall out of the committed transaction
-handles.
+observed by the client.  The runner reproduces that through the unified
+:class:`~repro.api.ProvenanceSession` API: ``concurrency`` logical request
+slots are kept outstanding as in-flight futures (``session.submit``);
+whenever a submission's future completes on the client's anchor peer, the
+slot immediately issues the next request.  Throughput and response times
+fall out of the completed handles.
 """
 
 from __future__ import annotations
@@ -14,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.api.protocol import SubmitHandle
+from repro.api.service import HyperProvService
+from repro.common.metrics import percentile
 from repro.core.topology import HyperProvDeployment
-from repro.fabric.proposal import TransactionHandle
 from repro.middleware.config import PipelineConfig
 from repro.workloads.payloads import DataItem, PayloadGenerator
 
@@ -36,6 +39,10 @@ class RunConfig:
     #: client (and the fabric's endorsement batcher) before the run; ``None``
     #: keeps whatever pipeline the client already has.
     pipeline: Optional[PipelineConfig] = None
+    #: Run the workload inside a tenant namespace (multi-tenant benches).
+    tenant: Optional[str] = None
+    #: Per-tenant admission cap forwarded to the session (0 = uncapped).
+    max_in_flight: int = 0
 
 
 @dataclass
@@ -58,13 +65,23 @@ class RunResult:
             return float("nan")
         return sum(self.response_times_s) / len(self.response_times_s)
 
-    @property
-    def p95_response_s(self) -> float:
+    def response_percentile_s(self, pct: float) -> float:
+        """Response-time percentile via the shared linear-interpolated helper."""
         if not self.response_times_s:
             return float("nan")
-        ordered = sorted(self.response_times_s)
-        index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
-        return ordered[index]
+        return percentile(self.response_times_s, pct)
+
+    @property
+    def p50_response_s(self) -> float:
+        return self.response_percentile_s(50)
+
+    @property
+    def p95_response_s(self) -> float:
+        return self.response_percentile_s(95)
+
+    @property
+    def p99_response_s(self) -> float:
+        return self.response_percentile_s(99)
 
     @property
     def mean_storage_s(self) -> float:
@@ -83,7 +100,9 @@ class RunResult:
             "size_bytes": float(self.config.data_size_bytes),
             "throughput_tps": self.throughput_tps,
             "mean_response_s": self.mean_response_s,
+            "p50_response_s": self.p50_response_s,
             "p95_response_s": self.p95_response_s,
+            "p99_response_s": self.p99_response_s,
             "mean_storage_s": self.mean_storage_s,
             "mean_chain_s": self.mean_chain_s,
             "committed": float(self.committed),
@@ -95,6 +114,7 @@ class StoreDataRunner:
 
     def __init__(self, deployment: HyperProvDeployment) -> None:
         self.deployment = deployment
+        self.service = HyperProvService(deployment)
 
     # ------------------------------------------------------------ estimation
     def estimate_item_interval(self, size_bytes: int) -> float:
@@ -123,20 +143,28 @@ class StoreDataRunner:
         """Execute one closed-loop measurement run."""
         deployment = self.deployment
         engine = deployment.engine
-        if config.pipeline is not None:
-            deployment.client.configure_pipeline(config.pipeline)
+        session = self.service.session(
+            tenant=config.tenant,
+            pipeline=config.pipeline,
+            max_in_flight=config.max_in_flight,
+        )
         generator = PayloadGenerator(
             size_bytes=config.data_size_bytes,
             seed=config.seed,
             prefix=f"{config.key_prefix}/{config.data_size_bytes}",
         )
         items: Iterator[DataItem] = generator.items(config.request_count)
-        stagger = self.estimate_item_interval(config.data_size_bytes) / max(1, config.concurrency)
+        # An admission cap below the loop's concurrency would reject the
+        # excess slots outright; clamp so the closed loop runs at the cap.
+        concurrency = config.concurrency
+        if config.max_in_flight > 0:
+            concurrency = min(concurrency, config.max_in_flight)
+        stagger = self.estimate_item_interval(config.data_size_bytes) / max(1, concurrency)
 
         start_time = engine.now
         state = {"issued": 0}
         submissions: List[float] = []
-        handles: List[TransactionHandle] = []
+        handles: List[SubmitHandle] = []
         storage_times: List[float] = []
 
         def issue_next() -> None:
@@ -146,18 +174,18 @@ class StoreDataRunner:
             state["issued"] += 1
             item = next(items)
             submitted_at = engine.now
-            post = deployment.client.store_data(
-                key=item.key,
-                data=item.data,
+            handle = session.submit(
+                item.key,
+                item.data,
                 metadata={"bench": True, "size": config.data_size_bytes},
             )
             submissions.append(submitted_at)
-            handles.append(post.handle)
-            if post.storage_receipt is not None:
-                storage_times.append(post.storage_receipt.duration_s)
-            post.handle.on_complete(
-                lambda handle: engine.schedule_at(
-                    max(engine.now, handle.committed_at),
+            handles.append(handle)
+            if handle.storage_receipt is not None:
+                storage_times.append(handle.storage_receipt.duration_s)
+            handle.add_done_callback(
+                lambda done: engine.schedule_at(
+                    max(engine.now, done.committed_at),
                     issue_next,
                     label="bench:next",
                 )
@@ -165,21 +193,21 @@ class StoreDataRunner:
 
         # Prime the loop: stagger the initial slots slightly so they do not
         # collide on the client CPU at t=0.
-        for slot in range(min(config.concurrency, config.request_count)):
+        for slot in range(min(concurrency, config.request_count)):
             engine.schedule_at(start_time + slot * stagger, issue_next, label="bench:prime")
 
-        deployment.drain()
+        session.drain()
         # The last partial block may still be pending on the batch timeout.
-        deployment.drain()
+        session.drain()
 
-        committed = [h for h in handles if h.is_complete and h.is_valid]
-        failed = [h for h in handles if h.is_complete and not h.is_valid]
+        committed = [h for h in handles if h.done and h.ok]
+        failed = [h for h in handles if h.done and not h.ok]
         response_times = [
             handle.committed_at - submitted
             for handle, submitted in zip(handles, submissions)
-            if handle.is_complete and handle.is_valid
+            if handle.done and handle.ok
         ]
-        chain_latencies = [h.latency_s for h in committed]
+        chain_latencies = [h.handle.latency_s for h in committed if h.handle is not None]
 
         if committed:
             last_commit = max(h.committed_at for h in committed)

@@ -1,0 +1,18 @@
+"""Deprecation helper for the legacy blocking client/baseline surfaces."""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, replacement: str) -> None:
+    """Emit a :class:`DeprecationWarning` pointing at the unified API.
+
+    ``stacklevel=3`` attributes the warning to the caller of the deprecated
+    method (the shim itself adds one frame).
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

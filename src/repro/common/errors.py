@@ -59,6 +59,23 @@ class MVCCConflictError(CommitError):
         self.found_version = found_version
 
 
+class AdmissionRejectedError(HyperProvError):
+    """A tenant exceeded its in-flight submission cap (admission control)."""
+
+    def __init__(self, tenant: str, limit: int) -> None:
+        label = tenant or "<default>"
+        super().__init__(
+            f"tenant {label!r} has {limit} submissions in flight "
+            f"(per-tenant cap); drain or wait for commits before submitting more"
+        )
+        self.tenant = tenant
+        self.limit = limit
+
+
+class IncompleteTransactionError(HyperProvError):
+    """A result was requested from a transaction that has not committed yet."""
+
+
 class StorageError(HyperProvError):
     """Off-chain storage failed (missing item, checksum mismatch, I/O)."""
 

@@ -10,7 +10,30 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile of ``samples``, ``pct`` in [0, 100].
+
+    The single shared implementation used by :class:`Histogram` and the
+    benchmark harness (``RunResult``), so every reported percentile uses
+    the same method.  Returns ``0.0`` for an empty sample set.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
 
 
 @dataclass
@@ -81,20 +104,7 @@ class Histogram:
 
     def percentile(self, pct: float) -> float:
         """Linear-interpolated percentile, ``pct`` in [0, 100]."""
-        if not self.samples:
-            return 0.0
-        if not 0.0 <= pct <= 100.0:
-            raise ValueError("percentile must be within [0, 100]")
-        ordered = sorted(self.samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        rank = (pct / 100.0) * (len(ordered) - 1)
-        low = int(math.floor(rank))
-        high = int(math.ceil(rank))
-        if low == high:
-            return ordered[low]
-        weight = rank - low
-        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+        return percentile(self.samples, pct)
 
     def summary(self) -> Dict[str, float]:
         """Convenience dictionary with the usual summary statistics."""

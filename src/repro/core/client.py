@@ -28,9 +28,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.chaincode.records import ProvenanceRecord
+from repro.common.deprecation import warn_deprecated
 from repro.common.errors import (
     ChaincodeError,
     ChecksumMismatchError,
+    IncompleteTransactionError,
     NotFoundError,
     ValidationError,
 )
@@ -68,10 +70,20 @@ class PostResult:
 
     @property
     def total_latency_s(self) -> float:
-        """Storage + on-chain latency as observed by the caller."""
+        """Storage + on-chain latency as observed by the caller.
+
+        Contract: only defined once the transaction has committed (drain
+        the deployment, or wait for ``handle.on_complete``).  Raises
+        :class:`~repro.common.errors.IncompleteTransactionError` while the
+        handle is still in flight instead of silently propagating ``nan``.
+        """
+        if not self.handle.is_complete:
+            raise IncompleteTransactionError(
+                f"transaction {self.handle.tx_id} has not committed yet; drain the "
+                f"network (or use handle.on_complete) before reading total_latency_s"
+            )
         storage = self.storage_receipt.duration_s if self.storage_receipt else 0.0
-        chain = self.handle.latency_s if self.handle.is_complete else float("nan")
-        return storage + chain
+        return storage + self.handle.latency_s
 
 
 @dataclass
@@ -86,7 +98,16 @@ class DataResult:
 
 
 class HyperProvClient:
-    """High-level HyperProv API bound to one client identity."""
+    """High-level HyperProv API bound to one client identity.
+
+    .. deprecated::
+        The blocking operator methods (``post``, ``get``,
+        ``get_key_history``, ``check_hash``, ``store_data``) are kept as
+        thin shims over the unified :class:`repro.api.ProvenanceStore`
+        protocol; new code should use :meth:`as_store` or a
+        :class:`repro.api.HyperProvService` session (``docs/api.md`` has
+        the migration table).
+    """
 
     def __init__(
         self,
@@ -105,6 +126,15 @@ class HyperProvClient:
         self._context = network.client_context(client_name)
         self.pipeline_config = pipeline_config or PipelineConfig()
         self.pipeline: TransactionPipeline = self._build_pipeline(self.pipeline_config)
+        self._store_adapter = None
+
+    def as_store(self):
+        """This client as a unified :class:`repro.api.ProvenanceStore`."""
+        if self._store_adapter is None:
+            from repro.api.adapters import HyperProvStore
+
+            self._store_adapter = HyperProvStore(self)
+        return self._store_adapter
 
     # -------------------------------------------------------------- pipeline
     def _build_pipeline(self, config: PipelineConfig) -> TransactionPipeline:
@@ -215,7 +245,11 @@ class HyperProvClient:
         size_bytes: int = 0,
         at_time: Optional[float] = None,
     ) -> PostResult:
-        """Record provenance metadata for a data item already stored elsewhere."""
+        """Record provenance metadata for a data item already stored elsewhere.
+
+        .. deprecated:: shim over ``ProvenanceStore.submit`` (metadata-only).
+        """
+        warn_deprecated("HyperProvClient.post", "ProvenanceStore.submit")
         return self._post(
             "post",
             key=key,
@@ -266,7 +300,14 @@ class HyperProvClient:
 
     # ------------------------------------------------------------------- get
     def get(self, key: str, at_time: Optional[float] = None) -> QueryResult:
-        """Latest provenance record for ``key``."""
+        """Latest provenance record for ``key``.
+
+        .. deprecated:: shim over ``ProvenanceStore.get``.
+        """
+        warn_deprecated("HyperProvClient.get", "ProvenanceStore.get")
+        return self._get_impl(key, at_time=at_time)
+
+    def _get_impl(self, key: str, at_time: Optional[float] = None) -> QueryResult:
         response, latency = self._query("get", "get", [key], at_time=at_time)
         if not response.is_ok or response.payload is None:
             raise NotFoundError(response.message or f"key {key!r} not found")
@@ -274,7 +315,16 @@ class HyperProvClient:
         return QueryResult(payload=ProvenanceRecord.from_json(response.payload), latency_s=latency)
 
     def get_key_history(self, key: str, at_time: Optional[float] = None) -> QueryResult:
-        """Every recorded version of ``key`` (oldest first)."""
+        """Every recorded version of ``key`` (oldest first).
+
+        .. deprecated:: shim over ``ProvenanceStore.history``.
+        """
+        warn_deprecated("HyperProvClient.get_key_history", "ProvenanceStore.history")
+        return self._get_key_history_impl(key, at_time=at_time)
+
+    def _get_key_history_impl(
+        self, key: str, at_time: Optional[float] = None
+    ) -> QueryResult:
         response, latency = self._query(
             "get_key_history", "getkeyhistory", [key], at_time=at_time
         )
@@ -302,7 +352,19 @@ class HyperProvClient:
         data_or_checksum: Any,
         at_time: Optional[float] = None,
     ) -> QueryResult:
-        """Verify data (or a precomputed checksum) against the on-chain record."""
+        """Verify data (or a precomputed checksum) against the on-chain record.
+
+        .. deprecated:: shim over ``ProvenanceStore.verify``.
+        """
+        warn_deprecated("HyperProvClient.check_hash", "ProvenanceStore.verify")
+        return self._check_hash_impl(key, data_or_checksum, at_time=at_time)
+
+    def _check_hash_impl(
+        self,
+        key: str,
+        data_or_checksum: Any,
+        at_time: Optional[float] = None,
+    ) -> QueryResult:
         if isinstance(data_or_checksum, (bytes, bytearray)):
             checksum = checksum_of(data_or_checksum)
         else:
@@ -403,7 +465,22 @@ class HyperProvClient:
         This is the operator exercised by Fig. 1 / Fig. 2: its cost includes
         the checksum computation, the transfer to the storage node and the
         on-chain transaction.
+
+        .. deprecated:: shim over ``ProvenanceStore.submit`` (with payload).
         """
+        warn_deprecated("HyperProvClient.store_data", "ProvenanceStore.submit")
+        return self._store_data_impl(
+            key, data, dependencies=dependencies, metadata=metadata, at_time=at_time
+        )
+
+    def _store_data_impl(
+        self,
+        key: str,
+        data: bytes,
+        dependencies: Optional[List[str]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        at_time: Optional[float] = None,
+    ) -> PostResult:
         storage = self._require_storage()
         start = self.network.engine.now if at_time is None else at_time
         receipt = self._store_payload(storage, data, start)
@@ -438,7 +515,7 @@ class HyperProvClient:
         """Fetch the data behind ``key`` from off-chain storage and verify it."""
         storage = self._require_storage()
         start = self.network.engine.now if at_time is None else at_time
-        query = self.get(key, at_time=start)
+        query = self._get_impl(key, at_time=start)
         record: ProvenanceRecord = query.payload
 
         backend = storage.backend

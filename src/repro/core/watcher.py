@@ -14,8 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.api.protocol import StoreRequest
 from repro.common.hashing import checksum_of
-from repro.core.client import HyperProvClient, PostResult
+from repro.core.client import HyperProvClient
 
 
 @dataclass
@@ -26,7 +27,8 @@ class WatchedChange:
     checksum: str
     size_bytes: int
     is_new: bool
-    post: PostResult
+    #: Future for the recording submission (:class:`repro.api.SubmitHandle`).
+    post: object
 
 
 class FileWatcher:
@@ -75,11 +77,13 @@ class FileWatcher:
         if metadata:
             combined_metadata.update(metadata)
 
-        post = self.client.store_data(
-            key=key,
-            data=data,
-            dependencies=dependencies,
-            metadata=combined_metadata,
+        post = self.client.as_store().submit(
+            StoreRequest(
+                key=key,
+                data=data,
+                dependencies=tuple(dependencies),
+                metadata=combined_metadata,
+            ),
             at_time=at_time,
         )
         change = WatchedChange(

@@ -485,3 +485,15 @@ class FabricNetwork:
     def ledger_heights(self) -> Dict[str, int]:
         """Block height of every peer (should agree once drained)."""
         return {name: peer.ledger_height for name, peer in self._peers.items()}
+
+    def in_flight(self, client_name: Optional[str] = None) -> int:
+        """Handles awaiting their anchor-peer commit (optionally per client).
+
+        Counts transactions that reached the await-commit stage; envelopes
+        still queued in the endorsement batcher or scheduled for a future
+        virtual time are not yet registered here (the session facade's
+        ``in_flight`` tracks the full submission-to-commit window).
+        """
+        if client_name is not None:
+            return len(self.client_context(client_name).pending)
+        return sum(len(context.pending) for context in self._clients.values())

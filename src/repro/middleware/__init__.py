@@ -23,6 +23,13 @@ from repro.middleware.config import PipelineConfig, build_client_pipeline
 from repro.middleware.context import Context, OperationKind
 from repro.middleware.metrics import MetricsMiddleware
 from repro.middleware.retry import RetryMiddleware, RetryPolicy
+from repro.middleware.tenancy import (
+    AdmissionControlMiddleware,
+    TenantPrefixMiddleware,
+    namespace_key,
+    strip_namespace,
+    tenant_namespace,
+)
 from repro.middleware.tracing import RequestIdMiddleware
 
 __all__ = [
@@ -36,6 +43,11 @@ __all__ = [
     "RetryPolicy",
     "ReadCacheMiddleware",
     "EndorsementBatcher",
+    "AdmissionControlMiddleware",
+    "TenantPrefixMiddleware",
+    "tenant_namespace",
+    "namespace_key",
+    "strip_namespace",
     "PipelineConfig",
     "build_client_pipeline",
 ]

@@ -21,6 +21,11 @@ from repro.middleware.base import Handler, Middleware, TransactionPipeline
 from repro.middleware.cache import ReadCacheMiddleware
 from repro.middleware.metrics import MetricsMiddleware
 from repro.middleware.retry import RetryMiddleware, RetryPolicy
+from repro.middleware.tenancy import (
+    AdmissionControlMiddleware,
+    TenantPrefixMiddleware,
+    tenant_namespace,
+)
 from repro.middleware.tracing import RequestIdMiddleware
 
 
@@ -43,6 +48,11 @@ class PipelineConfig:
     cache_hit_latency_s: float = 0.0
     #: Endorsed envelopes coalesced per orderer submission (fabric-side).
     order_batch_size: int = 1
+    #: Tenant whose namespace every key argument is rewritten into
+    #: (empty = single-tenant, no rewriting).
+    tenant: str = ""
+    #: Per-tenant cap on in-flight write submissions (0 = uncapped).
+    max_in_flight: int = 0
 
     def __post_init__(self) -> None:
         if self.retry_attempts < 1:
@@ -51,6 +61,10 @@ class PipelineConfig:
             raise ConfigurationError("cache_capacity must be >= 1")
         if self.order_batch_size < 1:
             raise ConfigurationError("order_batch_size must be >= 1")
+        if self.max_in_flight < 0:
+            raise ConfigurationError("max_in_flight must be >= 0")
+        if self.tenant:
+            tenant_namespace(self.tenant)  # validates the name
 
     # -------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, Any]:
@@ -73,6 +87,10 @@ class PipelineConfig:
             names.append("request-id")
         if self.metrics:
             names.append("metrics")
+        if self.max_in_flight > 0:
+            names.append("admission-control")
+        if self.tenant:
+            names.append("tenant-prefix")
         if self.retry_attempts > 1:
             names.append("retry")
         if self.cache:
@@ -91,15 +109,28 @@ def build_client_middlewares(
     """Instantiate the stock middleware chain a :class:`PipelineConfig` asks for.
 
     Chain order is fixed: tracing (outermost, so every attempt is visible
-    under one request id) → metrics (counts the operation once) → retry →
-    cache (innermost, so a retried attempt can still be answered from
-    cache and a hit short-circuits everything below it).
+    under one request id) → metrics (counts the operation once) →
+    admission control (rejects over-cap writes before they consume any
+    downstream work) → tenant-prefix (namespaces keys before the cache and
+    the terminal ever see them) → retry → cache (innermost, so a retried
+    attempt can still be answered from cache and a hit short-circuits
+    everything below it).
     """
     middlewares: List[Middleware] = []
     if config.tracing:
         middlewares.append(RequestIdMiddleware(id_generator=id_generator, events=events))
     if config.metrics and metrics is not None:
         middlewares.append(MetricsMiddleware(registry=metrics, clock=clock))
+    if config.max_in_flight > 0:
+        middlewares.append(
+            AdmissionControlMiddleware(
+                max_in_flight=config.max_in_flight,
+                tenant=config.tenant,
+                metrics=metrics,
+            )
+        )
+    if config.tenant:
+        middlewares.append(TenantPrefixMiddleware(config.tenant, metrics=metrics))
     if config.retry_attempts > 1:
         policy = RetryPolicy(
             max_attempts=config.retry_attempts,

@@ -1,0 +1,233 @@
+"""Tenant namespacing and admission control middlewares.
+
+Multi-tenancy lands as a middleware concern (the SDSN@RT pattern): call
+sites and backends stay tenant-unaware while two pipeline links enforce
+the namespace on the wire:
+
+* :class:`TenantPrefixMiddleware` rewrites every key argument to live
+  under ``tenant/<name>/…`` before the operation reaches the cache or the
+  terminal, so two tenants can never address each other's ledger keys.
+* :class:`AdmissionControlMiddleware` caps how many write submissions a
+  tenant may keep in flight at once (endorsed envelopes queued in the
+  batcher or awaiting commit), rejecting excess submissions with
+  :class:`~repro.common.errors.AdmissionRejectedError` instead of letting
+  one tenant monopolize the ordering path.
+
+Both are enabled declaratively through
+:class:`~repro.middleware.config.PipelineConfig` (``tenant`` /
+``max_in_flight``) and therefore apply uniformly to the HyperProv client
+and to both baseline stores.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from typing import Any, Optional
+
+from repro.common.errors import AdmissionRejectedError, ConfigurationError
+from repro.common.metrics import MetricsRegistry
+from repro.middleware.base import Handler, Middleware
+from repro.middleware.context import Context
+
+#: Read functions whose first argument is the single ledger key they touch
+#: (chaincode reads plus the baselines' ``get`` / ``history``).
+KEY_SCOPED_FUNCTIONS = frozenset(
+    {"get", "getkeyhistory", "checkhash", "getdependencies", "history"}
+)
+
+#: Upper bound used to close an open-ended range within a tenant namespace.
+_RANGE_END_SENTINEL = "~"
+
+
+def tenant_namespace(tenant: str) -> str:
+    """The ledger-key prefix owned by ``tenant`` (``tenant/<name>/``)."""
+    if not tenant:
+        raise ConfigurationError("tenant name must be non-empty")
+    if "/" in tenant:
+        raise ConfigurationError(f"tenant name {tenant!r} must not contain '/'")
+    return f"tenant/{tenant}/"
+
+
+def namespace_key(tenant: str, key: str) -> str:
+    """Map a tenant-relative key to its namespaced ledger key."""
+    return tenant_namespace(tenant) + key
+
+
+def strip_namespace(tenant: str, key: str) -> str:
+    """Map a namespaced ledger key back to the tenant-relative key."""
+    prefix = tenant_namespace(tenant)
+    return key[len(prefix):] if key.startswith(prefix) else key
+
+
+class TenantPrefixMiddleware(Middleware):
+    """Rewrites key arguments into the tenant's namespace.
+
+    Placement matters: the middleware sits above the read cache, so cache
+    entries are keyed on namespaced args and a tenant can only ever hit
+    its own cached reads.  Rich queries (``query``) cannot be prefixed —
+    selectors match record fields — so their result rows are post-filtered
+    to the tenant's namespace instead.
+    """
+
+    name = "tenant-prefix"
+
+    def __init__(self, tenant: str, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.tenant = tenant
+        self.prefix = tenant_namespace(tenant)
+        self.metrics = metrics
+
+    # ------------------------------------------------------------- pipeline
+    def handle(self, ctx: Context, call_next: Handler) -> Any:
+        self._rewrite_args(ctx)
+        self._rewrite_store_tags(ctx)
+        result = call_next(ctx)
+        if ctx.function == "query":
+            return self._filter_query_result(result)
+        return result
+
+    # ------------------------------------------------------------ rewriting
+    def _rewrite_args(self, ctx: Context) -> None:
+        if ctx.function == "set" and ctx.args:
+            ctx.args[0] = self.prefix + ctx.args[0]
+            if len(ctx.args) > 3:
+                ctx.args[3] = self._prefix_dependency_json(ctx.args[3])
+        elif ctx.function in KEY_SCOPED_FUNCTIONS and ctx.args:
+            ctx.args[0] = self.prefix + ctx.args[0]
+        elif ctx.function == "getbyrange" and len(ctx.args) >= 2:
+            ctx.args[0] = self.prefix + ctx.args[0]
+            # An empty end key means "unbounded"; bound it to the namespace.
+            ctx.args[1] = self.prefix + (ctx.args[1] or _RANGE_END_SENTINEL)
+        elif ctx.operation == "store_record" and ctx.args:
+            ctx.args[0] = self.prefix + ctx.args[0]
+
+    def _prefix_dependency_json(self, encoded: str) -> str:
+        try:
+            dependencies = json.loads(encoded)
+        except (TypeError, ValueError):
+            return encoded
+        if not isinstance(dependencies, list):
+            return encoded
+        return json.dumps([self.prefix + str(dep) for dep in dependencies])
+
+    def _rewrite_store_tags(self, ctx: Context) -> None:
+        """Namespace the record a baseline store carries out of band."""
+        store = ctx.tags.get("store")
+        if not isinstance(store, dict):
+            return
+        record = store.get("record")
+        if record is None or not hasattr(record, "key"):
+            return
+        store["record"] = replace(
+            record,
+            key=self.prefix + record.key,
+            dependencies=[self.prefix + dep for dep in record.dependencies],
+        )
+
+    # ------------------------------------------------------------ filtering
+    def _filter_query_result(self, result: Any) -> Any:
+        """Drop rich-query rows that belong to other namespaces."""
+        response = result[0] if isinstance(result, tuple) else result
+        payload = getattr(response, "payload", None)
+        if not isinstance(payload, str):
+            return result
+        try:
+            rows = json.loads(payload)
+        except ValueError:
+            return result
+        if not isinstance(rows, list):
+            return result
+        kept = [
+            row for row in rows
+            if isinstance(row, dict) and str(row.get("key", "")).startswith(self.prefix)
+        ]
+        if len(kept) == len(rows):
+            return result
+        if self.metrics is not None:
+            self.metrics.counter("tenant.rows_filtered").inc(len(rows) - len(kept))
+        filtered = replace(response, payload=json.dumps(kept))
+        if isinstance(result, tuple):
+            return (filtered,) + result[1:]
+        return filtered
+
+
+class InFlightCounter:
+    """Mutable in-flight count, shareable between pipelines.
+
+    A service facade hands the same counter to every session of one
+    tenant, so the admission cap is genuinely per tenant rather than per
+    session pipeline.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+class AdmissionControlMiddleware(Middleware):
+    """Per-tenant cap on in-flight write submissions.
+
+    A write is "in flight" from the moment it enters the pipeline until
+    its transaction handle completes (commit or invalidation); backends
+    whose writes finish synchronously release the slot immediately.  The
+    cap protects the shared ordering path from a single tenant queueing
+    unbounded envelopes in the endorsement batcher.  Sessions of the same
+    tenant share one :class:`InFlightCounter` (see ``adopt_counter``), so
+    opening more sessions does not widen the cap.
+    """
+
+    name = "admission-control"
+
+    def __init__(
+        self,
+        max_in_flight: int,
+        tenant: str = "",
+        metrics: Optional[MetricsRegistry] = None,
+        counter: Optional[InFlightCounter] = None,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be >= 1 when admission is on")
+        self.max_in_flight = max_in_flight
+        self.tenant = tenant
+        self.metrics = metrics
+        self._counter = counter or InFlightCounter()
+
+    def adopt_counter(self, counter: InFlightCounter) -> None:
+        """Share another pipeline's counter (same-tenant sessions)."""
+        counter.value += self._counter.value
+        self._counter = counter
+
+    @property
+    def in_flight(self) -> int:
+        """Writes currently holding an admission slot."""
+        return self._counter.value
+
+    # ------------------------------------------------------------- pipeline
+    def handle(self, ctx: Context, call_next: Handler) -> Any:
+        if not ctx.is_write:
+            return call_next(ctx)
+        if self._counter.value >= self.max_in_flight:
+            if self.metrics is not None:
+                self.metrics.counter("admission.rejected").inc()
+            raise AdmissionRejectedError(self.tenant, self.max_in_flight)
+        self._counter.value += 1
+        self._observe()
+        try:
+            result = call_next(ctx)
+        except Exception:
+            self._release()
+            raise
+        if hasattr(result, "on_complete") and not getattr(result, "is_complete", True):
+            result.on_complete(lambda _handle: self._release())
+        else:
+            self._release()
+        return result
+
+    def _release(self) -> None:
+        self._counter.value = max(0, self._counter.value - 1)
+        self._observe()
+
+    def _observe(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("admission.in_flight").set(float(self._counter.value))

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from repro.api.protocol import SubmitHandle
+from repro.api.service import ProvenanceSession
 from repro.common.hashing import checksum_of
-from repro.core.client import HyperProvClient, PostResult
+from repro.core.client import HyperProvClient
 from repro.workloads.payloads import DataItem, ImagePayloadGenerator, SensorReadingGenerator
 
 
@@ -25,19 +27,27 @@ class IoTPipelineWorkload:
 
     Edge sensors and cameras produce raw data items; edge-processing
     stages derive aggregated or reduced artifacts from them (thumbnails,
-    anomaly summaries).  Every item and every derivation is recorded in
-    HyperProv, giving a multi-level lineage graph to query.
+    anomaly summaries).  Every item and every derivation is recorded
+    through the unified :class:`~repro.api.ProvenanceSession` API —
+    submissions are futures that complete when the recording transaction
+    commits — giving a multi-level lineage graph to query.
+
+    Accepts either a session or a bare :class:`HyperProvClient` (wrapped
+    in a default session for backward compatibility).
     """
 
     def __init__(
         self,
-        client: HyperProvClient,
+        client: Union[HyperProvClient, ProvenanceSession],
         sensor_count: int = 2,
         camera_count: int = 1,
         image_size_bytes: int = 256 * 1024,
         seed: int = 42,
     ) -> None:
-        self.client = client
+        if isinstance(client, ProvenanceSession):
+            self.session = client
+        else:
+            self.session = ProvenanceSession(client.as_store())
         self.sensors = [
             SensorReadingGenerator(sensor_id=f"sensor-{i + 1}", seed=seed + i)
             for i in range(sensor_count)
@@ -48,17 +58,21 @@ class IoTPipelineWorkload:
             )
             for i in range(camera_count)
         ]
-        self.raw_posts: List[PostResult] = []
-        self.derived_posts: List[PostResult] = []
+        self.raw_posts: List[SubmitHandle] = []
+        self.derived_posts: List[SubmitHandle] = []
 
     # ----------------------------------------------------------- ingestion
-    def ingest_round(self) -> List[PostResult]:
-        """Produce one reading per sensor and one frame per camera, store all."""
-        posts: List[PostResult] = []
+    def ingest_round(self) -> List[SubmitHandle]:
+        """Produce one reading per sensor and one frame per camera, store all.
+
+        Submissions are non-blocking: the returned handles complete when
+        the caller drains the deployment (or the session).
+        """
+        posts: List[SubmitHandle] = []
         for generator in [*self.sensors, *self.cameras]:
             item: DataItem = generator.next_item()
-            post = self.client.store_data(
-                key=item.key, data=item.data, metadata=dict(item.metadata)
+            post = self.session.submit(
+                item.key, item.data, metadata=dict(item.metadata)
             )
             posts.append(post)
         self.raw_posts.extend(posts)
@@ -68,9 +82,9 @@ class IoTPipelineWorkload:
     def derive(
         self,
         stage: PipelineStage,
-        source_posts: Optional[List[PostResult]] = None,
+        source_posts: Optional[List[SubmitHandle]] = None,
         output_key: Optional[str] = None,
-    ) -> PostResult:
+    ) -> SubmitHandle:
         """Create a derived artifact from previously stored items.
 
         The derived payload is a deterministic reduction of the inputs and
@@ -84,10 +98,10 @@ class IoTPipelineWorkload:
         output_size = max(16, int(len(combined) * stage.reduction_factor))
         derived_data = (combined * (output_size // max(1, len(combined)) + 1))[:output_size]
         key = output_key or f"derived/{stage.name}/{len(self.derived_posts) + 1:04d}"
-        post = self.client.store_data(
-            key=key,
-            data=derived_data,
-            dependencies=[p.record.key for p in sources],
+        post = self.session.submit(
+            key,
+            derived_data,
+            dependencies=tuple(p.request.key for p in sources),
             metadata={"stage": stage.name, **stage.metadata},
         )
         self.derived_posts.append(post)
@@ -96,15 +110,17 @@ class IoTPipelineWorkload:
     # ------------------------------------------------------------- checking
     def verify_all(self) -> Dict[str, bool]:
         """Re-fetch every stored item and verify its checksum on chain."""
+        storage = getattr(self.session.backend, "storage", None)
         results: Dict[str, bool] = {}
         for post in [*self.raw_posts, *self.derived_posts]:
-            obj = self.client.storage.get_object(post.record.checksum)
+            key = post.request.key
+            obj = storage.get_object(post.record.checksum) if storage else None
             if obj is None:
-                results[post.record.key] = False
+                results[key] = False
                 continue
-            results[post.record.key] = (
+            results[key] = (
                 checksum_of(obj.data) == post.record.checksum
-                and self.client.check_hash(post.record.key, obj.data).payload
+                and bool(self.session.verify(key, obj.data))
             )
         return results
 

@@ -1,0 +1,209 @@
+"""Contract tests: one assertion set, all three ``ProvenanceStore`` backends.
+
+The suite runs identical store/get/history/verify assertions against the
+HyperProv client, the central database and the PoW chain through their
+adapters, then checks each backend's tamper-evidence semantics through
+the uniform ``audit()`` call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ProvenanceStore, StoreRequest
+from repro.api.adapters import CentralDbStore, HyperProvStore, PowChainStore, adapt_store
+from repro.baselines.centraldb import CentralProvenanceDatabase
+from repro.baselines.provchain import PowProvenanceChain
+from repro.common.errors import (
+    IncompleteTransactionError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.common.hashing import checksum_of
+from repro.core.topology import build_desktop_deployment
+from repro.devices.model import DeviceModel
+from repro.devices.profiles import RASPBERRY_PI_3B_PLUS, XEON_E5_1603
+from repro.simulation.randomness import DeterministicRandom
+
+BACKENDS = ("hyperprov", "central-db", "provchain-pow")
+
+
+def _build_store(backend: str) -> ProvenanceStore:
+    if backend == "hyperprov":
+        return build_desktop_deployment(seed=42).client.as_store()
+    if backend == "central-db":
+        device = DeviceModel("srv", XEON_E5_1603, rng=DeterministicRandom(7))
+        return CentralProvenanceDatabase(server_device=device).as_store()
+    device = DeviceModel("miner", RASPBERRY_PI_3B_PLUS, rng=DeterministicRandom(8))
+    return PowProvenanceChain(
+        device, difficulty_bits=8, rng=DeterministicRandom(9)
+    ).as_store()
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request) -> ProvenanceStore:
+    return _build_store(request.param)
+
+
+# ----------------------------------------------------------------- protocol
+def test_adapters_satisfy_the_protocol(store):
+    assert isinstance(store, ProvenanceStore)
+    assert store.backend_name in BACKENDS
+
+
+def test_store_then_get_roundtrip(store):
+    handle = store.store(StoreRequest(key="contract/a", data=b"payload-a"))
+    assert handle.done and handle.ok
+    assert handle.latency_s > 0
+    receipt = handle.result()
+    assert receipt.ok and receipt.backend == store.backend_name
+    view = store.get("contract/a")
+    assert view.key == "contract/a"
+    assert view.checksum == checksum_of(b"payload-a")
+    assert view.record is not None
+
+
+def test_get_missing_key_raises(store):
+    with pytest.raises(NotFoundError):
+        store.get("contract/never-stored")
+
+
+def test_history_lists_every_version_oldest_first(store):
+    for version in (b"v1", b"v2", b"v3"):
+        store.store(StoreRequest(key="contract/hist", data=version))
+    history = store.history("contract/hist")
+    assert len(history) == 3
+    checksums = [entry.view.checksum for entry in history]
+    assert checksums == [checksum_of(b"v1"), checksum_of(b"v2"), checksum_of(b"v3")]
+
+
+def test_verify_accepts_original_and_rejects_forgery(store):
+    store.store(StoreRequest(key="contract/v", data=b"genuine"))
+    assert store.verify("contract/v", b"genuine")
+    assert store.verify("contract/v", checksum_of(b"genuine"))
+    assert not store.verify("contract/v", b"forged")
+
+
+def test_metadata_and_dependencies_roundtrip(store):
+    store.store(StoreRequest(key="contract/dep", data=b"base"))
+    store.store(
+        StoreRequest(
+            key="contract/derived",
+            data=b"derived",
+            dependencies=("contract/dep",),
+            metadata={"stage": "thumb"},
+        )
+    )
+    view = store.get("contract/derived")
+    assert view.dependencies == ("contract/dep",)
+    assert view.metadata["stage"] == "thumb"
+
+
+def test_audit_is_clean_without_tampering(store):
+    store.store(StoreRequest(key="contract/audit", data=b"ok"))
+    assert store.audit() is True
+
+
+# ------------------------------------------------------- tamper semantics
+def test_tamper_evidence_matches_backend_semantics():
+    """PoW exposes rewrites via audit; the central DB never notices."""
+    pow_store = _build_store("provchain-pow")
+    pow_store.store(StoreRequest(key="t", data=b"original"))
+    pow_store.backend.tamper("t", checksum_of(b"forged"))
+    assert pow_store.audit() is False  # hash chain broke: evidence
+
+    central = _build_store("central-db")
+    central.store(StoreRequest(key="t", data=b"original"))
+    central.backend.tamper("t", checksum_of(b"forged"))
+    assert central.audit() is True  # silent rewrite: no evidence
+    assert not central.verify("t", b"original")  # history was rewritten
+
+
+def test_hyperprov_audit_detects_local_ledger_rewrite():
+    deployment = build_desktop_deployment(seed=42)
+    store = deployment.client.as_store()
+    store.store(StoreRequest(key="t", data=b"original"))
+    victim = deployment.peers[0]
+    tx = next(
+        t for t in victim.block_store.block(0).transactions if t.function == "set"
+    )
+    tx.args[1] = checksum_of(b"forged")
+    assert store.audit() is False
+
+
+# -------------------------------------------------------------- envelopes
+def test_metadata_only_submit_requires_checksum_and_location():
+    store = _build_store("hyperprov")
+    with pytest.raises(ValidationError):
+        store.submit(StoreRequest(key="meta/only"))
+    handle = store.store(
+        StoreRequest(
+            key="meta/only",
+            checksum=checksum_of(b"elsewhere"),
+            location="file://elsewhere",
+        )
+    )
+    assert handle.ok
+    assert store.get("meta/only").location == "file://elsewhere"
+
+
+def test_hyperprov_submit_is_nonblocking_and_result_gated():
+    store = _build_store("hyperprov")
+    handle = store.submit(StoreRequest(key="async/1", data=b"payload"))
+    assert not handle.done
+    with pytest.raises(IncompleteTransactionError):
+        handle.result()
+    with pytest.raises(IncompleteTransactionError):
+        _ = handle.latency_s
+    store.drain()
+    assert handle.done and handle.ok
+    assert handle.result().latency_s > 0
+
+
+def test_adapt_store_dispatches_and_caches():
+    device = DeviceModel("srv", XEON_E5_1603, rng=DeterministicRandom(7))
+    database = CentralProvenanceDatabase(server_device=device)
+    assert isinstance(adapt_store(database), CentralDbStore)
+    assert database.as_store() is database.as_store()
+
+    deployment = build_desktop_deployment(seed=42)
+    assert isinstance(adapt_store(deployment.client), HyperProvStore)
+
+    miner = DeviceModel("m", RASPBERRY_PI_3B_PLUS, rng=DeterministicRandom(8))
+    chain = PowProvenanceChain(miner, difficulty_bits=8, rng=DeterministicRandom(9))
+    assert isinstance(adapt_store(chain), PowChainStore)
+
+
+# ------------------------------------------------------- deprecated shims
+def test_legacy_methods_still_work_but_warn(desktop_deployment):
+    client = desktop_deployment.client
+    with pytest.warns(DeprecationWarning):
+        post = client.store_data("legacy/1", b"old-api")
+    desktop_deployment.drain()
+    assert post.handle.is_valid
+    with pytest.warns(DeprecationWarning):
+        record = client.get("legacy/1").payload
+    assert record.checksum == checksum_of(b"old-api")
+    with pytest.warns(DeprecationWarning):
+        assert client.check_hash("legacy/1", b"old-api").payload
+
+
+def test_legacy_baseline_methods_still_work_but_warn():
+    device = DeviceModel("srv", XEON_E5_1603, rng=DeterministicRandom(7))
+    database = CentralProvenanceDatabase(server_device=device)
+    with pytest.warns(DeprecationWarning):
+        database.store_data("legacy/k", b"v")
+    with pytest.warns(DeprecationWarning):
+        assert database.get("legacy/k").checksum == checksum_of(b"v")
+    with pytest.warns(DeprecationWarning):
+        assert len(database.history("legacy/k")) == 1
+
+
+def test_post_result_total_latency_contract(desktop_deployment):
+    client = desktop_deployment.client
+    with pytest.warns(DeprecationWarning):
+        post = client.store_data("latency/1", b"x")
+    with pytest.raises(IncompleteTransactionError):
+        _ = post.total_latency_s
+    desktop_deployment.drain()
+    assert post.total_latency_s > 0

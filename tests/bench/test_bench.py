@@ -7,8 +7,10 @@ suite stays fast; the full-size sweeps live in ``benchmarks/``.
 import pytest
 
 from repro.bench.ablation_batch import run_batch_ablation
+from repro.bench.ablation_concurrency import run_concurrency_ablation
 from repro.bench.baseline_compare import run_baseline_comparison
 from repro.bench.cli import build_parser, main
+from repro.common.metrics import percentile
 from repro.bench.fig1_throughput import run_fig1
 from repro.bench.fig2_rpi import run_fig2
 from repro.bench.fig3_energy import run_fig3
@@ -59,6 +61,38 @@ def test_runner_commits_every_request(desktop_deployment):
 def test_runner_interval_estimate_grows_with_size(desktop_deployment):
     runner = StoreDataRunner(desktop_deployment)
     assert runner.estimate_item_interval(4 * 1024 * 1024) > runner.estimate_item_interval(1024)
+
+
+def test_runner_percentiles_use_shared_helper(desktop_deployment):
+    runner = StoreDataRunner(desktop_deployment)
+    result = runner.run(RunConfig(data_size_bytes=1024, request_count=10, concurrency=10))
+    assert result.p50_response_s == percentile(result.response_times_s, 50)
+    assert result.p95_response_s == percentile(result.response_times_s, 95)
+    assert result.p99_response_s == percentile(result.response_times_s, 99)
+    summary = result.summary()
+    assert summary["p50_response_s"] <= summary["p95_response_s"] <= summary["p99_response_s"]
+
+
+def test_runner_clamps_concurrency_to_admission_cap(desktop_deployment):
+    runner = StoreDataRunner(desktop_deployment)
+    result = runner.run(
+        RunConfig(
+            data_size_bytes=512, request_count=12, concurrency=8,
+            tenant="capped", max_in_flight=4,
+        )
+    )
+    assert result.committed == 12
+    assert result.failed == 0
+
+
+def test_runner_supports_tenant_namespaces(desktop_deployment):
+    runner = StoreDataRunner(desktop_deployment)
+    result = runner.run(
+        RunConfig(data_size_bytes=512, request_count=6, concurrency=6, tenant="bench-t")
+    )
+    assert result.committed == 6
+    committed_keys = desktop_deployment.peers[0].history.keys()
+    assert any(key.startswith("tenant/bench-t/") for key in committed_keys)
 
 
 # --------------------------------------------------------------------- figures
@@ -138,12 +172,31 @@ def test_batch_ablation_larger_batches_do_not_hurt_throughput():
     assert len(ablation.to_table().rows) == 2
 
 
+def test_concurrency_ablation_deeper_pipelines_raise_throughput():
+    ablation = run_concurrency_ablation(depths=(1, 16), requests=18)
+    shallow, deep = ablation.results
+    assert deep.throughput_tps > shallow.throughput_tps
+    assert ablation.speedup > 1.0
+    assert len(ablation.to_table().rows) == 2
+
+
 # ------------------------------------------------------------------------- cli
 def test_cli_parser_accepts_known_experiments():
     parser = build_parser()
     args = parser.parse_args(["fig1", "--requests", "5"])
     assert args.experiments == ["fig1"]
     assert args.requests == 5
+    assert args.concurrency is None
+
+
+def test_cli_exposes_concurrency_and_requests():
+    parser = build_parser()
+    args = parser.parse_args(["ablation-concurrency", "--requests", "8", "--concurrency", "4"])
+    assert args.experiments == ["ablation-concurrency"]
+    assert args.requests == 8
+    assert args.concurrency == 4
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig1", "--concurrency", "0"])
 
 
 def test_cli_rejects_unknown_experiment():
