@@ -24,6 +24,7 @@ from repro.api.protocol import (
     SubmitHandle,
     VerifyResult,
 )
+from repro.middleware.cache import ReadCacheMiddleware, SharedReadCache
 from repro.middleware.config import PipelineConfig
 from repro.middleware.tenancy import (
     AdmissionControlMiddleware,
@@ -177,6 +178,32 @@ class HyperProvService:
         #: One in-flight counter per tenant, shared across its sessions,
         #: so the admission cap is per tenant rather than per session.
         self._admission_counters: Dict[str, InFlightCounter] = {}
+        #: Lazily created shared read-cache tier (``shared_cache`` knob):
+        #: every session asking for it gets the same thread-safe LRU, so
+        #: repeated reads across tenant sessions hit one store.  Entries
+        #: are keyed on namespaced args, so tenants stay isolated.
+        self._shared_cache: Optional[SharedReadCache] = None
+        self._shared_cache_invalidator: Optional[ReadCacheMiddleware] = None
+
+    def shared_cache(self, capacity: int = 1024) -> SharedReadCache:
+        """The deployment-wide cache tier (created on first use).
+
+        The tier outlives any single session, so the service itself keeps
+        an invalidation subscription on the deployment's commit stream —
+        a write committed while no shared-cache session is open still
+        purges the entries it stales.  Later callers asking for a larger
+        capacity grow the store (never shrink it under existing users).
+        """
+        if self._shared_cache is None:
+            self._shared_cache = SharedReadCache(capacity=capacity)
+            events = getattr(getattr(self.deployment, "fabric", None), "events", None)
+            if events is not None:
+                self._shared_cache_invalidator = ReadCacheMiddleware(
+                    store=self._shared_cache, events=events
+                )
+        else:
+            self._shared_cache.capacity = max(self._shared_cache.capacity, capacity)
+        return self._shared_cache
 
     def session(
         self,
@@ -191,11 +218,14 @@ class HyperProvService:
         ``pipeline`` applied the way benchmarks always did.  With a tenant
         or a cap, the session gets its own client whose pipeline includes
         the tenant-prefix and admission-control middlewares; the network,
-        identity and off-chain storage are shared.
+        identity, off-chain storage and (with ``shared_cache``) the read
+        cache tier are shared.
         """
         if tenant is None and max_in_flight == 0:
             client = self.deployment.client
             if pipeline is not None:
+                if pipeline.shared_cache:
+                    client.shared_cache = self.shared_cache(pipeline.cache_capacity)
                 client.configure_pipeline(pipeline)
             return ProvenanceSession(client.as_store(), tenant="")
 
@@ -211,6 +241,11 @@ class HyperProvService:
             client_name=self.deployment.client.client_name,
             storage=self.deployment.storage,
             pipeline_config=config,
+            shared_cache=(
+                self.shared_cache(config.cache_capacity)
+                if config.shared_cache
+                else None
+            ),
         )
         if config.max_in_flight > 0:
             admission = client.pipeline.find(AdmissionControlMiddleware)
@@ -221,6 +256,8 @@ class HyperProvService:
                 admission.adopt_counter(counter)
         if pipeline is not None:
             self.deployment.fabric.set_order_batch_size(config.order_batch_size)
+            if config.scheduler is not None:
+                self.deployment.fabric.set_scheduler(config.scheduler)
         return ProvenanceSession(
             client.as_store(), tenant=tenant or "", owns_store=True
         )

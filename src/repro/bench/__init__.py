@@ -14,6 +14,7 @@ Module           Reproduces
 ``ablation_consensus``  Solo vs Raft ordering
 ``ablation_cache``   Read-cache middleware on/off (repeated-get latency)
 ``ablation_concurrency``  In-flight submission depth sweep (futures API)
+``ablation_sharding``  Channel shards vs throughput + tenant fair-sharing
 ===============  ==========================================================
 
 Run ``python -m repro.bench <experiment>`` or use the pytest-benchmark
@@ -32,6 +33,10 @@ from repro.bench.ablation_cache import run_cache_ablation
 from repro.bench.ablation_concurrency import run_concurrency_ablation
 from repro.bench.ablation_consensus import run_consensus_ablation
 from repro.bench.ablation_fastfabric import run_fastfabric_ablation
+from repro.bench.ablation_sharding import (
+    run_fairness_comparison,
+    run_sharding_ablation,
+)
 from repro.bench.resource_usage import run_resource_usage
 
 __all__ = [
@@ -51,5 +56,7 @@ __all__ = [
     "run_concurrency_ablation",
     "run_consensus_ablation",
     "run_fastfabric_ablation",
+    "run_sharding_ablation",
+    "run_fairness_comparison",
     "run_resource_usage",
 ]

@@ -12,15 +12,18 @@ from repro.bench import (
     run_cache_ablation,
     run_concurrency_ablation,
     run_consensus_ablation,
+    run_fairness_comparison,
     run_fastfabric_ablation,
     run_fig1,
     run_fig2,
     run_fig3,
     run_ops_table,
     run_resource_usage,
+    run_sharding_ablation,
 )
 from repro.bench.ops_table import stage_table as ops_stage_table
 from repro.bench.ops_table import to_table as ops_to_table
+from repro.consensus.scheduler import SCHEDULER_NAMES
 from repro.middleware.config import PipelineConfig
 
 
@@ -123,6 +126,33 @@ def _run_resources(args: argparse.Namespace) -> str:
     return "\n\n".join(report.to_table().render() for report in reports.values())
 
 
+def _shard_counts(max_shards: int) -> List[int]:
+    """1, 2, 4, … doubling up to (and including) ``max_shards``."""
+    counts = []
+    count = 1
+    while count < max_shards:
+        counts.append(count)
+        count *= 2
+    counts.append(max_shards)
+    return counts
+
+
+def _run_sharding(args: argparse.Namespace) -> str:
+    # The shard sweep needs enough requests per deployment to reach steady
+    # state past the priming and final-block tail; scale the shared
+    # --requests knob (default 20 → 240) instead of hiding a second flag.
+    requests = max(args.requests, 4) * 12
+    ablation = run_sharding_ablation(
+        shard_counts=_shard_counts(args.shards),
+        requests=requests,
+        scheduler=args.scheduler,
+    )
+    fairness = run_fairness_comparison(
+        light_requests=max(6, min(requests // 24, 20)),
+    )
+    return "\n\n".join([ablation.to_table().render(), fairness.to_table().render()])
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -134,6 +164,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "ablation-concurrency": _run_concurrency,
     "ablation-consensus": _run_consensus,
     "ablation-fastfabric": _run_fastfabric,
+    "ablation-sharding": _run_sharding,
     "resources": _run_resources,
 }
 
@@ -180,6 +211,20 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument(
         "--order-batch", type=_positive_int, default=1,
         help="endorsed envelopes coalesced per orderer submission (default: 1)",
+    )
+    sharding = parser.add_argument_group(
+        "sharding", "multi-channel configuration for ablation-sharding"
+    )
+    sharding.add_argument(
+        "--shards", type=_positive_int, default=4,
+        help="highest channel-shard count the sharding ablation sweeps to "
+             "(doubling from 1; default: 4)",
+    )
+    sharding.add_argument(
+        "--scheduler", choices=sorted(SCHEDULER_NAMES), default="fifo",
+        help="orderer intake policy used for the shard throughput sweep "
+             "(the tenant-isolation table always compares fifo vs "
+             "fair-share; default: fifo)",
     )
     return parser
 

@@ -17,6 +17,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.api.protocol import SubmitHandle
 from repro.api.service import HyperProvService
+from repro.common.hashing import checksum_of
 from repro.common.metrics import percentile
 from repro.core.topology import HyperProvDeployment
 from repro.middleware.config import PipelineConfig
@@ -43,6 +44,10 @@ class RunConfig:
     tenant: Optional[str] = None
     #: Per-tenant admission cap forwarded to the session (0 = uncapped).
     max_in_flight: int = 0
+    #: Submit metadata-only provenance posts (checksum + location) instead
+    #: of storing payloads off-chain — isolates the ordering/commit path
+    #: from the client-side storage cost (the sharding ablation's mode).
+    metadata_only: bool = False
 
 
 @dataclass
@@ -174,11 +179,20 @@ class StoreDataRunner:
             state["issued"] += 1
             item = next(items)
             submitted_at = engine.now
-            handle = session.submit(
-                item.key,
-                item.data,
-                metadata={"bench": True, "size": config.data_size_bytes},
-            )
+            if config.metadata_only:
+                handle = session.submit(
+                    item.key,
+                    checksum=checksum_of(item.key.encode("utf-8")),
+                    location=f"ext://{item.key}",
+                    size_bytes=config.data_size_bytes,
+                    metadata={"bench": True, "size": config.data_size_bytes},
+                )
+            else:
+                handle = session.submit(
+                    item.key,
+                    item.data,
+                    metadata={"bench": True, "size": config.data_size_bytes},
+                )
             submissions.append(submitted_at)
             handles.append(handle)
             if handle.storage_receipt is not None:

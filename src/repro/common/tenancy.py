@@ -1,0 +1,44 @@
+"""The tenant key-namespace format, in one place.
+
+The ``tenant/<name>/…`` ledger-key layout is load-bearing for three
+otherwise-unrelated layers: the tenant-prefix middleware writes it, the
+shard router co-locates on it, and the fair-share orderer scheduler
+attributes transactions by it.  They all parse the format through these
+helpers so a change to the scheme cannot silently diverge.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+
+#: Ledger-key prefix every tenant namespace lives under.
+TENANT_PREFIX = "tenant/"
+
+
+def tenant_namespace(tenant: str) -> str:
+    """The ledger-key prefix owned by ``tenant`` (``tenant/<name>/``)."""
+    if not tenant:
+        raise ConfigurationError("tenant name must be non-empty")
+    if "/" in tenant:
+        raise ConfigurationError(f"tenant name {tenant!r} must not contain '/'")
+    return f"{TENANT_PREFIX}{tenant}/"
+
+
+def namespace_key(tenant: str, key: str) -> str:
+    """Map a tenant-relative key to its namespaced ledger key."""
+    return tenant_namespace(tenant) + key
+
+
+def strip_namespace(tenant: str, key: str) -> str:
+    """Map a namespaced ledger key back to the tenant-relative key."""
+    prefix = tenant_namespace(tenant)
+    return key[len(prefix):] if key.startswith(prefix) else key
+
+
+def tenant_of_key(key: str) -> str:
+    """The tenant owning a ledger key (``""`` for un-namespaced keys)."""
+    if not key.startswith(TENANT_PREFIX):
+        return ""
+    remainder = key[len(TENANT_PREFIX):]
+    name, _, rest = remainder.partition("/")
+    return name if rest else ""

@@ -8,6 +8,15 @@ is included solely for the ProvChain-style public-blockchain baseline.
 
 from repro.consensus.batching import BatchConfig, BlockCutter
 from repro.consensus.base import OrderingService
+from repro.consensus.scheduler import (
+    FairShareScheduler,
+    FifoScheduler,
+    OrderingScheduler,
+    SCHEDULER_NAMES,
+    make_scheduler,
+    tenant_of_key,
+    tenant_of_transaction,
+)
 from repro.consensus.solo import SoloOrderingService
 from repro.consensus.raft import RaftNode, RaftState, RaftOrderingService
 from repro.consensus.pow import ProofOfWorkEngine
@@ -16,6 +25,13 @@ __all__ = [
     "BatchConfig",
     "BlockCutter",
     "OrderingService",
+    "OrderingScheduler",
+    "FifoScheduler",
+    "FairShareScheduler",
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "tenant_of_key",
+    "tenant_of_transaction",
     "SoloOrderingService",
     "RaftNode",
     "RaftState",

@@ -22,6 +22,7 @@ from repro.common.errors import OrderingError
 from repro.common.metrics import MetricsRegistry
 from repro.consensus.base import OrderingService
 from repro.consensus.batching import BatchConfig
+from repro.consensus.scheduler import OrderingScheduler
 from repro.ledger.transaction import Transaction
 from repro.network.fabric import Message, NetworkFabric
 from repro.simulation.engine import SimulationEngine
@@ -409,8 +410,17 @@ class RaftOrderingService(OrderingService):
         raft_config: Optional[RaftConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         rng: Optional[DeterministicRandom] = None,
+        scheduler: Optional[OrderingScheduler] = None,
+        intake_interval_s: float = 0.0,
     ) -> None:
-        super().__init__(name, engine, batch_config, metrics)
+        super().__init__(
+            name,
+            engine,
+            batch_config,
+            metrics,
+            scheduler=scheduler,
+            intake_interval_s=intake_interval_s,
+        )
         if cluster_size < 1:
             raise OrderingError("raft cluster size must be >= 1")
         rng = rng or DeterministicRandom(303)

@@ -12,6 +12,7 @@ from typing import List, Optional
 from repro.common.metrics import MetricsRegistry
 from repro.consensus.base import OrderingService
 from repro.consensus.batching import BatchConfig
+from repro.consensus.scheduler import OrderingScheduler
 from repro.ledger.transaction import Transaction
 from repro.simulation.engine import SimulationEngine
 
@@ -26,8 +27,17 @@ class SoloOrderingService(OrderingService):
         batch_config: Optional[BatchConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         ordering_delay_s: float = 0.0,
+        scheduler: Optional[OrderingScheduler] = None,
+        intake_interval_s: float = 0.0,
     ) -> None:
-        super().__init__(name, engine, batch_config, metrics)
+        super().__init__(
+            name,
+            engine,
+            batch_config,
+            metrics,
+            scheduler=scheduler,
+            intake_interval_s=intake_interval_s,
+        )
         #: Fixed processing time per block (set by the node model when the
         #: orderer runs on a constrained device).
         self.ordering_delay_s = ordering_delay_s

@@ -42,7 +42,7 @@ from repro.fabric.network import FabricNetwork
 from repro.fabric.proposal import ProposalResponse, TransactionHandle
 from repro.ledger.history import HistoryEntry
 from repro.middleware.base import TransactionPipeline
-from repro.middleware.cache import ReadCacheMiddleware
+from repro.middleware.cache import ReadCacheMiddleware, SharedReadCache
 from repro.middleware.config import PipelineConfig, build_client_pipeline
 from repro.middleware.context import Context, OperationKind
 from repro.provenance.graph import ProvenanceGraph
@@ -117,6 +117,7 @@ class HyperProvClient:
         chaincode_name: str = "hyperprov",
         metrics: Optional[MetricsRegistry] = None,
         pipeline_config: Optional[PipelineConfig] = None,
+        shared_cache: Optional[SharedReadCache] = None,
     ) -> None:
         self.network = network
         self.client_name = client_name
@@ -124,6 +125,10 @@ class HyperProvClient:
         self.chaincode_name = chaincode_name
         self.metrics = metrics or MetricsRegistry(f"client.{client_name}")
         self._context = network.client_context(client_name)
+        #: Optional shared cache tier backing the read cache when the
+        #: pipeline config asks for ``shared_cache`` (set by the service
+        #: facade so tenant sessions share one store).
+        self.shared_cache = shared_cache
         self.pipeline_config = pipeline_config or PipelineConfig()
         self.pipeline: TransactionPipeline = self._build_pipeline(self.pipeline_config)
         self._store_adapter = None
@@ -138,25 +143,47 @@ class HyperProvClient:
 
     # -------------------------------------------------------------- pipeline
     def _build_pipeline(self, config: PipelineConfig) -> TransactionPipeline:
+        if config.shards > self.network.shard_count:
+            raise ValidationError(
+                f"pipeline wants {config.shards} shards but the network hosts "
+                f"{self.network.shard_count} channel(s); build the deployment "
+                f"with shards={config.shards}"
+            )
+        # The read cache invalidates off the commit streams; on a sharded
+        # network that means one subscription per channel shard.
+        cache_events = None
+        if config.cache and self.network.shard_count > 1:
+            cache_events = [
+                self.network.shard_events(index)
+                for index in range(self.network.shard_count)
+            ]
         return build_client_pipeline(
             config,
             self._dispatch,
             clock=lambda: self.network.engine.now,
             events=self.network.events,
             metrics=self.metrics,
+            cache_events=cache_events,
+            shared_cache_store=self.shared_cache,
         )
 
     def configure_pipeline(self, config: PipelineConfig) -> None:
         """Swap the middleware chain (ablations: cache on/off, retry, batching).
 
-        Also applies the config's ``order_batch_size`` to the Fabric
-        network's endorsement batcher so one declarative object describes
-        the whole path.
+        Also applies the config's fabric-side knobs — ``order_batch_size``
+        to every endorsement batcher and ``scheduler`` to every shard's
+        ordering service — so one declarative object describes the whole
+        path.  Builds the replacement chain before touching the current
+        one, so a rejected config (e.g. more shards than the network
+        hosts) leaves the client fully functional on its old pipeline.
         """
+        replacement = self._build_pipeline(config)
         self.pipeline.close()
+        self.pipeline = replacement
         self.pipeline_config = config
-        self.pipeline = self._build_pipeline(config)
         self.network.set_order_batch_size(config.order_batch_size)
+        if config.scheduler is not None:
+            self.network.set_scheduler(config.scheduler)
 
     @property
     def read_cache(self) -> Optional[ReadCacheMiddleware]:
@@ -164,7 +191,13 @@ class HyperProvClient:
         return self.pipeline.find(ReadCacheMiddleware)
 
     def _dispatch(self, ctx: Context):
-        """Terminal pipeline handler: hand the operation to the network."""
+        """Terminal pipeline handler: hand the operation to the network.
+
+        The shard router (when configured) parks its routing decision in
+        ``ctx.tags["shard"]``; unrouted pipelines run on shard 0, the
+        historical single-channel path.
+        """
+        shard = ctx.tags.get("shard", 0)
         if ctx.is_read:
             return self.network.query(
                 self.client_name,
@@ -172,6 +205,7 @@ class HyperProvClient:
                 ctx.function,
                 ctx.args,
                 at_time=ctx.at_time,
+                shard=shard,
             )
         return self.network.submit_transaction(
             self.client_name,
@@ -180,6 +214,7 @@ class HyperProvClient:
             ctx.args,
             at_time=ctx.at_time,
             payload_size_bytes=ctx.payload_size_bytes,
+            shard=shard,
         )
 
     def _query(
@@ -548,15 +583,22 @@ class HyperProvClient:
 
     # -------------------------------------------------------------- lineage
     def build_provenance_graph(self, peer_name: Optional[str] = None) -> ProvenanceGraph:
-        """Reconstruct the OPM graph from a peer's committed key history."""
-        peer = self.network.peer(peer_name or self._context.anchor_peer)
+        """Reconstruct the OPM graph from a peer's committed key history.
+
+        On a sharded network the peer hosts one ledger per channel; the
+        graph aggregates every shard's history, ordered by commit
+        timestamp (block numbers are only comparable within one shard).
+        """
+        name = peer_name or self._context.anchor_peer
         graph = ProvenanceGraph()
         entries: List[HistoryEntry] = []
-        for key in peer.history.keys():
-            if key.startswith("__"):
-                continue
-            entries.extend(peer.history.history_for_key(key))
-        entries.sort(key=lambda e: (e.block_number, e.tx_number))
+        for index in range(self.network.shard_count):
+            peer = self.network.peer(name, shard=index)
+            for key in peer.history.keys():
+                if key.startswith("__"):
+                    continue
+                entries.extend(peer.history.history_for_key(key))
+        entries.sort(key=lambda e: (e.timestamp, e.block_number, e.tx_number))
         for entry in entries:
             if entry.is_delete or not entry.value:
                 continue

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.common.errors import ConfigurationError
 from repro.consensus.batching import BatchConfig
 from repro.consensus.raft import RaftOrderingService
+from repro.consensus.scheduler import make_scheduler
 from repro.consensus.solo import SoloOrderingService
 from repro.core.client import HyperProvClient
 from repro.chaincode.hyperprov import HyperProvChaincode
@@ -62,6 +63,20 @@ class DeploymentSpec:
     raft_cluster_size: int = 3
     #: Enable FastFabric-style parallel validation on every peer.
     parallel_validation: bool = False
+    #: Channels the deployment hosts.  Every peer node joins every channel
+    #: (one ledger per channel, as in Fabric); each extra channel gets its
+    #: own ordering service on its own orderer machine, so the ordering
+    #: path scales horizontally while peers and storage stay shared.
+    shards: int = 1
+    #: Orderer intake policy: ``"fifo"`` or ``"fair-share"`` (per shard).
+    scheduler: str = "fifo"
+    #: Per-tenant weights for the fair-share scheduler (default weight 1).
+    scheduler_weights: Optional[Dict[str, float]] = None
+    #: Per-envelope orderer processing time; 0 keeps intake synchronous
+    #: (the historical behaviour).  Positive values bound each channel's
+    #: ordering rate, which is what makes scheduling policy and shard
+    #: scaling observable.
+    orderer_intake_interval_s: float = 0.0
     seed: int = 42
     name: str = "deployment"
 
@@ -98,6 +113,8 @@ def build_deployment(spec: DeploymentSpec) -> HyperProvDeployment:
     """Assemble a full HyperProv deployment from a :class:`DeploymentSpec`."""
     if not spec.peer_profiles:
         raise ConfigurationError("a deployment needs at least one peer")
+    if spec.shards < 1:
+        raise ConfigurationError("a deployment needs at least one channel shard")
 
     engine = SimulationEngine()
     rng = DeterministicRandom(spec.seed)
@@ -134,21 +151,30 @@ def build_deployment(spec: DeploymentSpec) -> HyperProvDeployment:
     devices[orderer_node] = orderer_device
     network.register_node(orderer_node, profile=spec.orderer_profile.nic)
 
-    if spec.ordering == "solo":
-        orderer = SoloOrderingService(
-            name=orderer_node, engine=engine, batch_config=spec.batch_config
-        )
-    elif spec.ordering == "raft":
-        orderer = RaftOrderingService(
-            name=orderer_node,
-            engine=engine,
-            network=network,
-            cluster_size=spec.raft_cluster_size,
-            batch_config=spec.batch_config,
-            rng=rng.fork("raft"),
-        )
-    else:
+    def build_orderer(name: str, rng_label: str) -> object:
+        scheduler = make_scheduler(spec.scheduler, spec.scheduler_weights)
+        if spec.ordering == "solo":
+            return SoloOrderingService(
+                name=name,
+                engine=engine,
+                batch_config=spec.batch_config,
+                scheduler=scheduler,
+                intake_interval_s=spec.orderer_intake_interval_s,
+            )
+        if spec.ordering == "raft":
+            return RaftOrderingService(
+                name=name,
+                engine=engine,
+                network=network,
+                cluster_size=spec.raft_cluster_size,
+                batch_config=spec.batch_config,
+                rng=rng.fork(rng_label),
+                scheduler=scheduler,
+                intake_interval_s=spec.orderer_intake_interval_s,
+            )
         raise ConfigurationError(f"unknown ordering mode {spec.ordering!r}")
+
+    orderer = build_orderer(orderer_node, "raft")
 
     fabric = FabricNetwork(
         engine=engine,
@@ -159,12 +185,53 @@ def build_deployment(spec: DeploymentSpec) -> HyperProvDeployment:
         orderer_device=orderer_device,
         config=FabricNetworkConfig(),
     )
+    fabric.default_scheduler_weights = (
+        dict(spec.scheduler_weights) if spec.scheduler_weights else None
+    )
     for peer in peers:
         fabric.add_peer(peer)
 
     # Chaincode: HyperProv, endorsed by a majority of the organizations.
     policy = majority_of([org.name for org in organizations])
     channel.instantiate_chaincode(HyperProvChaincode(), endorsement_policy=policy)
+
+    # Extra channel shards: each gets its own ordering service on its own
+    # orderer machine, and every peer node joins with a per-channel ledger
+    # replica sharing the node's device model (one peer process, many
+    # channels — so CPU contention across channels is still modelled).
+    for shard_index in range(1, spec.shards):
+        shard_channel = Channel(
+            name=f"hyperprov-channel-{shard_index}",
+            msp=msp,
+            batch_config=spec.batch_config,
+        )
+        shard_orderer_node = f"{orderer_node}-{shard_index}"
+        shard_orderer_device = DeviceModel(
+            name=shard_orderer_node,
+            profile=spec.orderer_profile,
+            rng=rng.fork(f"device:{shard_orderer_node}"),
+        )
+        devices[shard_orderer_node] = shard_orderer_device
+        network.register_node(shard_orderer_node, profile=spec.orderer_profile.nic)
+        shard_orderer = build_orderer(shard_orderer_node, f"raft-{shard_index}")
+        index = fabric.add_channel(
+            shard_channel,
+            orderer=shard_orderer,
+            orderer_node=shard_orderer_node,
+            orderer_device=shard_orderer_device,
+        )
+        for peer in peers:
+            replica = Peer(
+                name=peer.name,
+                identity=peer.identity,
+                device=peer.device,
+                channel=shard_channel,
+                parallel_validation=spec.parallel_validation,
+            )
+            fabric.add_peer(replica, shard=index)
+        shard_channel.instantiate_chaincode(
+            HyperProvChaincode(), endorsement_policy=policy
+        )
 
     # Off-chain storage on its own node.
     storage_node = "storage"
@@ -228,12 +295,17 @@ def build_desktop_deployment(
     batch_config: Optional[BatchConfig] = None,
     ordering: str = "solo",
     parallel_validation: bool = False,
+    shards: int = 1,
+    scheduler: str = "fifo",
+    scheduler_weights: Optional[Dict[str, float]] = None,
+    orderer_intake_interval_s: float = 0.0,
     seed: int = 42,
 ) -> HyperProvDeployment:
     """The paper's desktop setup: 2× Xeon E5-1603, i7-4700MQ, i3-2310M.
 
     One Xeon also hosts the orderer; the client runs on the i7 machine
     (co-located with its peer); off-chain storage is a separate node.
+    ``shards`` adds channels, each ordered by its own Xeon-class machine.
     """
     spec = DeploymentSpec(
         name="desktop",
@@ -245,6 +317,10 @@ def build_desktop_deployment(
         batch_config=batch_config or BatchConfig(),
         ordering=ordering,
         parallel_validation=parallel_validation,
+        shards=shards,
+        scheduler=scheduler,
+        scheduler_weights=scheduler_weights,
+        orderer_intake_interval_s=orderer_intake_interval_s,
         seed=seed,
     )
     return build_deployment(spec)
@@ -254,6 +330,10 @@ def build_rpi_deployment(
     batch_config: Optional[BatchConfig] = None,
     ordering: str = "solo",
     parallel_validation: bool = False,
+    shards: int = 1,
+    scheduler: str = "fifo",
+    scheduler_weights: Optional[Dict[str, float]] = None,
+    orderer_intake_interval_s: float = 0.0,
     seed: int = 42,
 ) -> HyperProvDeployment:
     """The paper's edge setup: 4× Raspberry Pi 3B+ on one switch.
@@ -272,6 +352,10 @@ def build_rpi_deployment(
         batch_config=batch_config or BatchConfig(),
         ordering=ordering,
         parallel_validation=parallel_validation,
+        shards=shards,
+        scheduler=scheduler,
+        scheduler_weights=scheduler_weights,
+        orderer_intake_interval_s=orderer_intake_interval_s,
         seed=seed,
     )
     return build_deployment(spec)

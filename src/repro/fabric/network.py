@@ -1,10 +1,19 @@
-"""FabricNetwork: wires clients, peers and the orderer into one system.
+"""FabricNetwork: wires clients, peers and the ordering path into one system.
 
 This is the orchestration layer the HyperProv client library talks to.  It
 drives the full execute-order-validate pipeline over the simulated network
 and the device models, producing per-transaction
 :class:`~repro.fabric.proposal.TransactionHandle` objects with timestamped
 phases so the benchmark harness can report throughput and response times.
+
+The network is a true multi-channel host: each :class:`ChannelShard` owns
+a channel, an ordering service (with its own block cutter and intake
+scheduler), an endorsement batcher, an invoke pipeline, a commit/event
+stream and a per-channel ledger on every joined peer.  The paper's
+deployment is the single-shard special case — the historical single-channel
+surface (``fabric.channel``, ``fabric.orderer``, ``fabric.order_batcher``)
+keeps pointing at shard 0 — while sharded deployments route transactions
+across shards via the :class:`~repro.middleware.sharding.ShardRouterMiddleware`.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from repro.common.events import EventBus
 from repro.common.ids import DeterministicIdGenerator
 from repro.common.metrics import MetricsRegistry
 from repro.consensus.base import OrderingService
+from repro.consensus.scheduler import make_scheduler
 from repro.consensus.solo import SoloOrderingService
 from repro.devices.model import DeviceModel
 from repro.fabric.channel import Channel
@@ -72,8 +82,29 @@ class _ClientContext:
     pending: Dict[str, TransactionHandle] = field(default_factory=dict)
 
 
+@dataclass
+class ChannelShard:
+    """One channel plus the ordering/commit machinery dedicated to it."""
+
+    index: int
+    channel: Channel
+    orderer: OrderingService
+    orderer_node: str
+    orderer_device: Optional[DeviceModel]
+    #: Per-shard commit/event stream (``block_delivered``, chaincode events).
+    events: EventBus
+    batcher: Optional[EndorsementBatcher] = None
+    pipeline: Optional[TransactionPipeline] = None
+    #: Per-channel peer replicas (same node names across shards — one peer
+    #: process hosting one ledger per joined channel, as in Fabric).
+    peers: Dict[str, Peer] = field(default_factory=dict)
+    #: Every block this shard's ordering service produced, in order.  Used
+    #: to bring peers that missed deliveries (partitions) back up to date.
+    ordered_blocks: List[Block] = field(default_factory=list)
+
+
 class FabricNetwork:
-    """A complete simulated Fabric deployment on one channel."""
+    """A complete simulated Fabric deployment hosting one or more channels."""
 
     def __init__(
         self,
@@ -88,47 +119,136 @@ class FabricNetwork:
     ) -> None:
         self.engine = engine
         self.network = network
-        self.channel = channel
         self.config = config or FabricNetworkConfig()
         self.metrics = metrics or MetricsRegistry("fabric")
+        #: Aggregate event bus carrying every shard's commit events (the
+        #: single-channel surface); each shard also has its own bus.
         self.events = EventBus()
         self.orderer_node = orderer_node
         self.orderer_device = orderer_device
-        self.orderer = orderer or SoloOrderingService(
-            name=orderer_node, engine=engine, batch_config=channel.batch_config
-        )
-        self.orderer.register_consumer(self._on_block_ordered)
         self.gossip = GossipDisseminator(network)
-        self._peers: Dict[str, Peer] = {}
         self._clients: Dict[str, _ClientContext] = {}
         self._tx_ids = DeterministicIdGenerator("tx")
-        #: Every block the ordering service has produced, in order.  Used to
-        #: bring peers that missed deliveries (partitions) back up to date.
-        self._ordered_blocks: List[Block] = []
-        if orderer_node not in self.network.nodes:
-            self.network.register_node(orderer_node)
-        #: The client→endorse→order→commit path as discrete pipeline stages.
-        self.order_batcher = EndorsementBatcher(
+        self._shards: List[ChannelShard] = []
+        #: Per-tenant fair-share weights the deployment was built with;
+        #: ``set_scheduler`` falls back to these so a policy swap through
+        #: a PipelineConfig does not silently reset custom weights.
+        self.default_scheduler_weights: Optional[Dict[str, float]] = None
+        self.add_channel(
+            channel,
+            orderer=orderer,
+            orderer_node=orderer_node,
+            orderer_device=orderer_device,
+        )
+
+    # ------------------------------------------------------------- sharding
+    def add_channel(
+        self,
+        channel: Channel,
+        orderer: Optional[OrderingService] = None,
+        orderer_node: Optional[str] = None,
+        orderer_device: Optional[DeviceModel] = None,
+    ) -> int:
+        """Host an additional channel; returns its shard index.
+
+        Each shard gets its own ordering service (block cutter + intake
+        scheduler), endorsement batcher, invoke pipeline and event stream,
+        so shards order and commit independently of each other.
+        """
+        index = len(self._shards)
+        node = orderer_node or (
+            self.orderer_node if index == 0 else f"{self.orderer_node}-{index}"
+        )
+        if node not in self.network.nodes:
+            self.network.register_node(node)
+        service = orderer or SoloOrderingService(
+            name=node, engine=self.engine, batch_config=channel.batch_config
+        )
+        shard = ChannelShard(
+            index=index,
+            channel=channel,
+            orderer=service,
+            orderer_node=node,
+            orderer_device=orderer_device,
+            events=EventBus(),
+        )
+        service.register_consumer(
+            lambda block, shard_index=index: self._on_block_ordered(shard_index, block)
+        )
+        batcher = EndorsementBatcher(
             batch_size=self.config.order_batch_size, metrics=self.metrics
         )
-        self.order_batcher.bind(self)
-        self.invoke_pipeline = TransactionPipeline(
+        batcher.bind(self, shard)
+        shard.batcher = batcher
+        #: The client→endorse→order→commit path as discrete pipeline stages.
+        shard.pipeline = TransactionPipeline(
             [
                 BuildProposalStage(self),
                 CollectEndorsementsStage(self),
-                self.order_batcher,
+                batcher,
                 SubmitToOrdererStage(self),
                 AwaitCommitStage(self),
             ],
             terminal=lambda ctx: ctx.tags["invoke"].handle,
         )
+        self._shards.append(shard)
+        return index
+
+    @property
+    def shards(self) -> Tuple[ChannelShard, ...]:
+        return tuple(self._shards)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard(self, index: int) -> ChannelShard:
+        if not 0 <= index < len(self._shards):
+            raise NotFoundError(
+                f"shard {index} does not exist (network has {len(self._shards)})"
+            )
+        return self._shards[index]
+
+    def shard_events(self, index: int) -> EventBus:
+        """The commit/event stream of one shard."""
+        return self.shard(index).events
+
+    # --------------------------------------- single-channel compat surface
+    @property
+    def channel(self) -> Channel:
+        """Shard 0's channel (the historical single-channel surface)."""
+        return self._shards[0].channel
+
+    @property
+    def orderer(self) -> OrderingService:
+        return self._shards[0].orderer
+
+    @property
+    def order_batcher(self) -> EndorsementBatcher:
+        return self._shards[0].batcher
+
+    @property
+    def invoke_pipeline(self) -> TransactionPipeline:
+        return self._shards[0].pipeline
+
+    @property
+    def _peers(self) -> Dict[str, Peer]:
+        """Shard 0's peer registry (compat for single-channel callers)."""
+        return self._shards[0].peers
+
+    @property
+    def _ordered_blocks(self) -> List[Block]:
+        return self._shards[0].ordered_blocks
 
     # ------------------------------------------------------------- topology
-    def add_peer(self, peer: Peer) -> None:
-        """Register a peer node (joins it to the network fabric too)."""
-        if peer.name in self._peers:
-            raise ConfigurationError(f"peer {peer.name!r} is already part of the network")
-        self._peers[peer.name] = peer
+    def add_peer(self, peer: Peer, shard: int = 0) -> None:
+        """Register a peer node on one shard (joins the network fabric too)."""
+        target = self.shard(shard)
+        if peer.name in target.peers:
+            raise ConfigurationError(
+                f"peer {peer.name!r} is already part of shard {shard}"
+            )
+        target.peers[peer.name] = peer
         if peer.name not in self.network.nodes:
             self.network.register_node(peer.name, profile=peer.device.profile.nic)
 
@@ -144,15 +264,16 @@ class FabricNetwork:
 
         ``host_node`` is the network node the client runs on (on the RPi
         testbed the client shares the device with a peer).  ``anchor_peer``
-        is the peer whose commit completes the client's transactions.
+        is the peer whose commit completes the client's transactions (the
+        same node name on every shard the client submits to).
         """
-        if not self._peers:
+        if not self._shards[0].peers:
             raise ConfigurationError("add peers before registering clients")
         host = host_node or name
         if host not in self.network.nodes:
             self.network.register_node(host, profile=device.profile.nic)
-        anchor = anchor_peer or sorted(self._peers)[0]
-        if anchor not in self._peers:
+        anchor = anchor_peer or sorted(self._shards[0].peers)[0]
+        if anchor not in self._shards[0].peers:
             raise NotFoundError(f"anchor peer {anchor!r} is not part of the network")
         self._clients[name] = _ClientContext(
             name=name,
@@ -162,15 +283,27 @@ class FabricNetwork:
             anchor_peer=anchor,
         )
 
-    def peer(self, name: str) -> Peer:
-        peer = self._peers.get(name)
-        if peer is None:
-            raise NotFoundError(f"unknown peer {name!r}")
-        return peer
+    def peer(self, name: str, shard: Optional[int] = None) -> Peer:
+        if shard is not None:
+            peer = self.shard(shard).peers.get(name)
+            if peer is None:
+                raise NotFoundError(f"unknown peer {name!r} on shard {shard}")
+            return peer
+        for candidate in self._shards:
+            peer = candidate.peers.get(name)
+            if peer is not None:
+                return peer
+        raise NotFoundError(f"unknown peer {name!r}")
 
     @property
     def peers(self) -> List[Peer]:
-        return [self._peers[name] for name in sorted(self._peers)]
+        """Shard 0's peers in name order (the single-channel surface)."""
+        shard = self._shards[0]
+        return [shard.peers[name] for name in sorted(shard.peers)]
+
+    def shard_peers(self, index: int) -> List[Peer]:
+        shard = self.shard(index)
+        return [shard.peers[name] for name in sorted(shard.peers)]
 
     def client_context(self, name: str) -> _ClientContext:
         context = self._clients.get(name)
@@ -178,10 +311,10 @@ class FabricNetwork:
             raise NotFoundError(f"unknown client {name!r}")
         return context
 
-    def _endorsing_peer_names(self) -> List[str]:
+    def _endorsing_peer_names(self, shard: ChannelShard) -> List[str]:
         if self.config.endorsing_peers is not None:
             return list(self.config.endorsing_peers)
-        return sorted(self._peers)
+        return sorted(shard.peers)
 
     # ----------------------------------------------------------- submission
     def submit_transaction(
@@ -192,8 +325,9 @@ class FabricNetwork:
         args: List[str],
         at_time: Optional[float] = None,
         payload_size_bytes: int = 0,
+        shard: int = 0,
     ) -> TransactionHandle:
-        """Run the full invoke flow for one transaction.
+        """Run the full invoke flow for one transaction on one shard.
 
         The flow starts at ``at_time`` (defaults to "now"); the returned
         handle completes when the client's anchor peer commits the block
@@ -201,17 +335,22 @@ class FabricNetwork:
         the harness's drain helper) to make pending batches flush.
         """
         context = self.client_context(client_name)
+        target = self.shard(shard)
         start = self.engine.now if at_time is None else at_time
         if at_time is not None and at_time > self.engine.now:
             handle = self._make_handle(start, function)
             self.engine.schedule_at(
                 at_time,
-                lambda: self._run_invoke(context, chaincode, function, args, handle, payload_size_bytes),
+                lambda: self._run_invoke(
+                    context, chaincode, function, args, handle, payload_size_bytes, target
+                ),
                 label=f"submit:{handle.tx_id}",
             )
             return handle
         handle = self._make_handle(start, function)
-        self._run_invoke(context, chaincode, function, args, handle, payload_size_bytes)
+        self._run_invoke(
+            context, chaincode, function, args, handle, payload_size_bytes, target
+        )
         return handle
 
     def _make_handle(self, submitted_at: float, function: str) -> TransactionHandle:
@@ -227,10 +366,12 @@ class FabricNetwork:
         function: str,
         args: List[str],
         payload_size_bytes: int,
+        channel_name: Optional[str] = None,
     ) -> Proposal:
+        channel_name = channel_name or self._shards[0].channel.name
         unsigned = Proposal(
             tx_id=handle.tx_id,
-            channel=self.channel.name,
+            channel=channel_name,
             chaincode=chaincode,
             function=function,
             args=list(args),
@@ -243,7 +384,7 @@ class FabricNetwork:
         size = len(unsigned.signed_bytes()) + 512 + payload_size_bytes
         return Proposal(
             tx_id=handle.tx_id,
-            channel=self.channel.name,
+            channel=channel_name,
             chaincode=chaincode,
             function=function,
             args=list(args),
@@ -261,8 +402,9 @@ class FabricNetwork:
         args: List[str],
         handle: TransactionHandle,
         payload_size_bytes: int,
+        shard: ChannelShard,
     ) -> None:
-        """Run one invoke through the staged pipeline.
+        """Run one invoke through the shard's staged pipeline.
 
         The phases (build-proposal → collect-endorsements → submit-to-orderer
         → await-commit) live in :mod:`repro.middleware.stages`; this wrapper
@@ -284,24 +426,50 @@ class FabricNetwork:
             function=function,
             args=list(args),
             payload_size_bytes=payload_size_bytes,
+            shard=shard,
         )
-        self.invoke_pipeline.execute(ctx)
+        shard.pipeline.execute(ctx)
 
     def set_order_batch_size(self, batch_size: int) -> None:
-        """Reconfigure the endorsement batcher (flushes any queued envelopes)."""
+        """Reconfigure every shard's endorsement batcher (flushes queues)."""
         if batch_size < 1:
             raise ConfigurationError("order batch size must be at least 1")
-        self.order_batcher.flush()
         self.config.order_batch_size = batch_size
-        self.order_batcher.batch_size = batch_size
+        for shard in self._shards:
+            shard.batcher.flush()
+            shard.batcher.batch_size = batch_size
+
+    def set_scheduler(self, name: str, weights: Optional[Dict[str, float]] = None) -> None:
+        """Swap the intake scheduler on every shard's ordering service.
+
+        Each shard gets its own scheduler instance (per-shard tenant
+        queues); any queued backlog is carried over into the new
+        scheduler.  Without explicit ``weights`` the deployment's
+        build-time ``default_scheduler_weights`` apply.
+        """
+        if weights is None:
+            weights = self.default_scheduler_weights
+        for shard in self._shards:
+            shard.orderer.set_scheduler(make_scheduler(name, weights))
+
+    def set_intake_interval(self, interval_s: float) -> None:
+        """Set the per-envelope orderer processing time on every shard."""
+        if interval_s < 0:
+            raise ConfigurationError("intake interval must be >= 0")
+        for shard in self._shards:
+            shard.orderer.intake_interval_s = interval_s
 
     def _collect_endorsements(
-        self, context: _ClientContext, proposal: Proposal, sent_at: float
+        self,
+        context: _ClientContext,
+        proposal: Proposal,
+        sent_at: float,
+        shard: ChannelShard,
     ) -> Tuple[List[ProposalResponse], float]:
         responses: List[ProposalResponse] = []
         completion_times: List[float] = []
-        for peer_name in self._endorsing_peer_names():
-            peer = self._peers[peer_name]
+        for peer_name in self._endorsing_peer_names(shard):
+            peer = shard.peers[peer_name]
             if not self.network.partitions.can_communicate(context.host_node, peer_name):
                 continue
             to_peer = self.network.estimate_transfer_time(
@@ -320,55 +488,66 @@ class FabricNetwork:
             return responses, sent_at
         return responses, max(completion_times)
 
-    def _submit_to_orderer(self, transaction: Transaction, handle: TransactionHandle) -> None:
+    def _submit_to_orderer(
+        self,
+        transaction: Transaction,
+        handle: TransactionHandle,
+        shard: ChannelShard,
+    ) -> None:
         handle.ordered_at = self.engine.now
-        if self.orderer_device is not None:
-            duration = self.orderer_device.serialization_time(transaction.size_bytes)
-            self.orderer_device.charge_cpu(
+        if shard.orderer_device is not None:
+            duration = shard.orderer_device.serialization_time(transaction.size_bytes)
+            shard.orderer_device.charge_cpu(
                 self.engine.now, duration, label=f"order:{transaction.tx_id}"
             )
-        self.orderer.submit(transaction)
+        shard.orderer.submit(transaction)
 
     # ------------------------------------------------------------- delivery
-    def _on_block_ordered(self, block: Block) -> None:
-        """Deliver a freshly cut block to every peer and complete handles."""
-        self._ordered_blocks.append(block)
+    def _on_block_ordered(self, shard_index: int, block: Block) -> None:
+        """Deliver a freshly cut block to the shard's peers, complete handles."""
+        shard = self._shards[shard_index]
+        shard.ordered_blocks.append(block)
         sent_at = self.engine.now
-        if self.orderer_device is not None:
-            duration = self.orderer_device.serialization_time(block.size_bytes)
-            _, sent_at = self.orderer_device.charge_cpu(
+        if shard.orderer_device is not None:
+            duration = shard.orderer_device.serialization_time(block.size_bytes)
+            _, sent_at = shard.orderer_device.charge_cpu(
                 self.engine.now, duration, label=f"cut:{block.number}"
             )
 
+        shard_peers = self.shard_peers(shard_index)
         if self.config.use_gossip:
             arrivals = self.gossip.disseminate(
-                self.orderer_node, self.peers, block.size_bytes, sent_at
+                shard.orderer_node, shard_peers, block.size_bytes, sent_at
             )
         else:
             arrivals = {}
-            for peer in self.peers:
+            for peer in shard_peers:
                 if not self.network.partitions.can_communicate(
-                    self.orderer_node, peer.name
+                    shard.orderer_node, peer.name
                 ):
                     continue
                 transfer = self.network.estimate_transfer_time(
-                    self.orderer_node, peer.name, block.size_bytes
+                    shard.orderer_node, peer.name, block.size_bytes
                 )
                 arrivals[peer.name] = sent_at + transfer
 
         commit_results = {}
-        for peer in self.peers:
+        for peer in shard_peers:
             if peer.name not in arrivals:
                 # Peer is unreachable (partition): it misses this block and
                 # will catch up from the orderer's delivery service once the
                 # partition heals and the next block reaches it.
                 self.metrics.counter("missed_deliveries").inc()
                 continue
-            self._catch_up_peer(peer, arrivals[peer.name], up_to=block.number)
+            self._catch_up_peer(shard, peer, arrivals[peer.name], up_to=block.number)
             commit_results[peer.name] = peer.deliver_block(block, arrivals[peer.name])
 
         self.metrics.counter("blocks_delivered").inc()
-        self.events.publish("block_delivered", {"block": block, "commits": commit_results})
+        self._publish(
+            shard,
+            "block_delivered",
+            {"block": block, "commits": commit_results, "shard": shard_index},
+        )
 
         # Fan committed chaincode events out to network-level subscribers
         # (the client library's event listeners hook in here).
@@ -377,24 +556,33 @@ class FabricNetwork:
             for tx, code in zip(block.transactions, reference.validation_codes):
                 if code is TxValidationCode.VALID and tx.chaincode_event is not None:
                     event_name, event_payload = tx.chaincode_event
-                    self.events.publish(
+                    self._publish(
+                        shard,
                         f"chaincode_event:{event_name}",
                         {
                             "tx_id": tx.tx_id,
                             "name": event_name,
                             "payload": event_payload,
                             "block_number": block.number,
+                            "shard": shard_index,
                         },
                     )
 
         self._complete_handles(block, commit_results)
 
-    def _catch_up_peer(self, peer: Peer, at_time: float, up_to: int) -> None:
+    def _publish(self, shard: ChannelShard, topic: str, payload: Dict) -> None:
+        """Publish on the shard's stream first, then the aggregate bus."""
+        shard.events.publish(topic, payload)
+        self.events.publish(topic, payload)
+
+    def _catch_up_peer(
+        self, shard: ChannelShard, peer: Peer, at_time: float, up_to: int
+    ) -> None:
         """Deliver any blocks the peer missed before ``up_to`` (in order)."""
         while peer.ledger_height < up_to:
-            missed = self._ordered_blocks[peer.ledger_height]
+            missed = shard.ordered_blocks[peer.ledger_height]
             transfer = self.network.estimate_transfer_time(
-                self.orderer_node, peer.name, missed.size_bytes
+                shard.orderer_node, peer.name, missed.size_bytes
             )
             peer.deliver_block(missed, at_time + transfer)
             self.metrics.counter("catch_up_blocks").inc()
@@ -406,7 +594,6 @@ class FabricNetwork:
             result = commit_results.get(context.anchor_peer)
             if result is None:
                 continue
-            anchor_peer = self._peers[context.anchor_peer]
             for position, tx in enumerate(block.transactions):
                 handle = context.pending.pop(tx.tx_id, None)
                 if handle is None:
@@ -427,7 +614,6 @@ class FabricNetwork:
                 else:
                     self.metrics.counter("txs_invalidated").inc()
                 self.metrics.histogram("tx_latency_s").observe(handle.latency_s)
-            _ = anchor_peer  # anchor peer already charged during deliver_block
 
     # ---------------------------------------------------------------- query
     def query(
@@ -438,17 +624,24 @@ class FabricNetwork:
         args: List[str],
         at_time: Optional[float] = None,
         peer_name: Optional[str] = None,
+        shard: int = 0,
     ) -> Tuple[ProposalResponse, float]:
         """Evaluate a read-only chaincode function on a single peer.
 
         Returns the response and the end-to-end latency in seconds.
         """
         context = self.client_context(client_name)
+        target = self.shard(shard)
         start = self.engine.now if at_time is None else at_time
         target_name = peer_name or context.anchor_peer
-        peer = self.peer(target_name)
+        peer = target.peers.get(target_name)
+        if peer is None:
+            raise NotFoundError(f"unknown peer {target_name!r} on shard {shard}")
         handle = self._make_handle(start, function)
-        proposal = self._build_proposal(context, handle, chaincode, function, args, 0)
+        proposal = self._build_proposal(
+            context, handle, chaincode, function, args, 0,
+            channel_name=target.channel.name,
+        )
 
         prep = context.device.sign_time() + self.config.client_overhead_s
         _, prep_done = context.device.charge_cpu(start, prep, label=f"query:{handle.tx_id}")
@@ -468,31 +661,49 @@ class FabricNetwork:
         """Force pending batches out and run the simulation until idle.
 
         Commit callbacks may submit new transactions (closed-loop
-        benchmarks), which re-queue envelopes in the endorsement batcher —
-        so keep alternating flush/run rounds until both the batcher and
-        the orderer are empty and the engine stays idle.
+        benchmarks), which re-queue envelopes in the endorsement batchers —
+        so keep alternating flush/run rounds until every shard's batcher
+        and orderer are empty and the engine stays idle.
         """
         self.engine.run_until_idle(max_events=max_events)
         while True:
-            if self.order_batcher.flush():
+            flushed = sum(shard.batcher.flush() for shard in self._shards)
+            if flushed:
                 self.engine.run_until_idle(max_events=max_events)
                 continue
-            self.orderer.flush()
+            for shard in self._shards:
+                shard.orderer.flush()
             self.engine.run_until_idle(max_events=max_events)
-            if not self.order_batcher.queued:
+            if not any(shard.batcher.queued for shard in self._shards):
                 break
 
     def ledger_heights(self) -> Dict[str, int]:
-        """Block height of every peer (should agree once drained)."""
-        return {name: peer.ledger_height for name, peer in self._peers.items()}
+        """Per-peer block height summed across every hosted channel.
+
+        With a single shard this is exactly the per-peer chain height (and
+        should agree across peers once drained); with several shards it is
+        the peer's total committed blocks over all its channel ledgers.
+        """
+        heights: Dict[str, int] = {}
+        for shard in self._shards:
+            for name, peer in shard.peers.items():
+                heights[name] = heights.get(name, 0) + peer.ledger_height
+        return heights
+
+    def shard_ledger_heights(self, index: int) -> Dict[str, int]:
+        """Block height of every peer on one shard."""
+        return {
+            name: peer.ledger_height for name, peer in self.shard(index).peers.items()
+        }
 
     def in_flight(self, client_name: Optional[str] = None) -> int:
         """Handles awaiting their anchor-peer commit (optionally per client).
 
-        Counts transactions that reached the await-commit stage; envelopes
-        still queued in the endorsement batcher or scheduled for a future
-        virtual time are not yet registered here (the session facade's
-        ``in_flight`` tracks the full submission-to-commit window).
+        Counts transactions that reached the await-commit stage on any
+        shard; envelopes still queued in an endorsement batcher or
+        scheduled for a future virtual time are not yet registered here
+        (the session facade's ``in_flight`` tracks the full
+        submission-to-commit window).
         """
         if client_name is not None:
             return len(self.client_context(client_name).pending)

@@ -18,11 +18,16 @@ configuration swaps instead of code forks.
 
 from repro.middleware.base import Middleware, TransactionPipeline
 from repro.middleware.batching import EndorsementBatcher
-from repro.middleware.cache import ReadCacheMiddleware
+from repro.middleware.cache import ReadCacheMiddleware, SharedReadCache
 from repro.middleware.config import PipelineConfig, build_client_pipeline
 from repro.middleware.context import Context, OperationKind
 from repro.middleware.metrics import MetricsMiddleware
 from repro.middleware.retry import RetryMiddleware, RetryPolicy
+from repro.middleware.sharding import (
+    ConsistentHashRing,
+    ShardRouterMiddleware,
+    routing_key,
+)
 from repro.middleware.tenancy import (
     AdmissionControlMiddleware,
     TenantPrefixMiddleware,
@@ -42,6 +47,10 @@ __all__ = [
     "RetryMiddleware",
     "RetryPolicy",
     "ReadCacheMiddleware",
+    "SharedReadCache",
+    "ShardRouterMiddleware",
+    "ConsistentHashRing",
+    "routing_key",
     "EndorsementBatcher",
     "AdmissionControlMiddleware",
     "TenantPrefixMiddleware",

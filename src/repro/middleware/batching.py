@@ -35,11 +35,14 @@ class EndorsementBatcher(Middleware):
         self.metrics = metrics
         #: Late-bound by the owning FabricNetwork (avoids an import cycle).
         self.fabric = None
+        #: The ChannelShard this batcher serves (one batcher per channel).
+        self.shard = None
         self._pending: List[Tuple[Context, Handler]] = []
 
-    def bind(self, fabric: Any) -> None:
-        """Attach the owning FabricNetwork (for network/orderer topology)."""
+    def bind(self, fabric: Any, shard: Any = None) -> None:
+        """Attach the owning FabricNetwork and shard (topology + orderer node)."""
         self.fabric = fabric
+        self.shard = shard
 
     # ------------------------------------------------------------- pipeline
     def handle(self, ctx: Context, call_next: Handler) -> Any:
@@ -70,9 +73,14 @@ class EndorsementBatcher(Middleware):
         for ctx, call_next in batch:
             state = ctx.tags["invoke"]
             if self.fabric is not None:
+                orderer_node = (
+                    self.shard.orderer_node
+                    if self.shard is not None
+                    else self.fabric.orderer_node
+                )
                 transfer = self.fabric.network.estimate_transfer_time(
                     state.client_context.host_node,
-                    self.fabric.orderer_node,
+                    orderer_node,
                     total_bytes,
                 )
                 ctx.tags["order_arrival"] = send_at + transfer

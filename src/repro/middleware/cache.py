@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
@@ -37,6 +38,71 @@ class CacheEntry:
     broad: bool
 
 
+class SharedReadCache:
+    """Thread-safe LRU store usable as a shared cache tier.
+
+    One instance can back many :class:`ReadCacheMiddleware` pipelines —
+    the service facade hands the same store to every tenant session so
+    repeated reads across sessions hit one cache instead of N private
+    dicts.  Entries are keyed on the *namespaced* read arguments (the
+    tenant-prefix middleware runs above the cache), so two tenants can
+    never observe each other's cached rows.
+
+    All operations take the store's lock: sessions may be driven from
+    different threads (the futures-based write path invites that), and an
+    LRU's ``move_to_end`` is not atomic on its own.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: CacheKey, entry: CacheEntry) -> int:
+        """Store an entry; returns how many LRU entries were evicted."""
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            evicted = 0
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            return evicted
+
+    def invalidate_key(self, state_key: str) -> int:
+        """Drop every entry that may depend on ``state_key``; returns count."""
+        with self._lock:
+            stale = [
+                cache_key
+                for cache_key, entry in self._entries.items()
+                if entry.broad or state_key in entry.keys
+            ]
+            for cache_key in stale:
+                del self._entries[cache_key]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> List[CacheKey]:
+        with self._lock:
+            return list(self._entries.keys())
+
+
 class ReadCacheMiddleware(Middleware):
     """LRU cache for read-only operations, invalidated by commit events.
 
@@ -47,6 +113,13 @@ class ReadCacheMiddleware(Middleware):
     :class:`EventBus` — the ``provenance_recorded`` chaincode event names
     the committed key directly, and delivered blocks are scanned for write
     sets so deletes and writes from other clients also purge stale entries.
+    On a sharded network the middleware attaches to every shard's commit
+    stream (each channel delivers its own blocks).
+
+    By default each middleware owns a private :class:`SharedReadCache`;
+    pass ``store`` to share one cache tier across several pipelines (the
+    ``shared_cache`` pipeline knob) — the store then outlives any single
+    pipeline and ``close()`` only drops this middleware's subscriptions.
     """
 
     name = "read-cache"
@@ -57,20 +130,26 @@ class ReadCacheMiddleware(Middleware):
         hit_latency_s: float = 0.0,
         events: Optional[EventBus] = None,
         metrics: Optional[MetricsRegistry] = None,
+        store: Optional[SharedReadCache] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
         self.capacity = capacity
         self.hit_latency_s = hit_latency_s
         self.metrics = metrics
-        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._owns_store = store is None
+        self.store = store if store is not None else SharedReadCache(capacity)
         self._subscriptions: List[Subscription] = []
         if events is not None:
             self.attach(events)
 
     # -------------------------------------------------------------- wiring
     def attach(self, events: EventBus) -> None:
-        """Subscribe to the bus topics whose events invalidate entries."""
+        """Subscribe to one bus whose commit events invalidate entries.
+
+        May be called several times — once per shard event stream on a
+        multi-channel network.
+        """
         self._subscriptions.append(
             events.subscribe(PROVENANCE_RECORDED_TOPIC, self._on_provenance_recorded)
         )
@@ -82,16 +161,16 @@ class ReadCacheMiddleware(Middleware):
         for subscription in self._subscriptions:
             subscription.cancel()
         self._subscriptions.clear()
-        self._entries.clear()
+        if self._owns_store:
+            self.store.clear()
 
     # ------------------------------------------------------------- pipeline
     def handle(self, ctx: Context, call_next: Handler) -> Any:
         if not ctx.is_read:
             return call_next(ctx)
         key = ctx.cache_key()
-        entry = self._entries.get(key)
+        entry = self.store.get(key)
         if entry is not None:
-            self._entries.move_to_end(key)
             ctx.cache_hit = True
             ctx.timings["cache_lookup_s"] = self.hit_latency_s
             if self.metrics is not None:
@@ -116,29 +195,20 @@ class ReadCacheMiddleware(Middleware):
         else:
             keys = frozenset()
             broad = True
-        self._entries[key] = CacheEntry(result=result, keys=keys, broad=broad)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            if self.metrics is not None:
-                self.metrics.counter("cache.evictions").inc()
+        evicted = self.store.put(key, CacheEntry(result=result, keys=keys, broad=broad))
+        if evicted and self.metrics is not None:
+            self.metrics.counter("cache.evictions").inc(evicted)
 
     # --------------------------------------------------------- invalidation
     def invalidate_key(self, state_key: str) -> int:
         """Drop every entry that may depend on ``state_key``; returns count."""
-        stale = [
-            cache_key
-            for cache_key, entry in self._entries.items()
-            if entry.broad or state_key in entry.keys
-        ]
-        for cache_key in stale:
-            del self._entries[cache_key]
+        stale = self.store.invalidate_key(state_key)
         if stale and self.metrics is not None:
-            self.metrics.counter("cache.invalidations").inc(len(stale))
-        return len(stale)
+            self.metrics.counter("cache.invalidations").inc(stale)
+        return stale
 
     def clear(self) -> None:
-        self._entries.clear()
+        self.store.clear()
 
     def _on_provenance_recorded(self, _topic: str, payload: Dict[str, Any]) -> None:
         key = self._event_key(payload)
@@ -172,7 +242,7 @@ class ReadCacheMiddleware(Middleware):
 
     # -------------------------------------------------------- introspection
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.store)
 
     def cached_keys(self) -> List[CacheKey]:
-        return list(self._entries.keys())
+        return self.store.keys()

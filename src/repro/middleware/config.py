@@ -17,10 +17,12 @@ from repro.common.errors import ConfigurationError
 from repro.common.events import EventBus
 from repro.common.ids import DeterministicIdGenerator
 from repro.common.metrics import MetricsRegistry
+from repro.consensus.scheduler import SCHEDULER_NAMES
 from repro.middleware.base import Handler, Middleware, TransactionPipeline
-from repro.middleware.cache import ReadCacheMiddleware
+from repro.middleware.cache import ReadCacheMiddleware, SharedReadCache
 from repro.middleware.metrics import MetricsMiddleware
 from repro.middleware.retry import RetryMiddleware, RetryPolicy
+from repro.middleware.sharding import ShardRouterMiddleware
 from repro.middleware.tenancy import (
     AdmissionControlMiddleware,
     TenantPrefixMiddleware,
@@ -53,6 +55,17 @@ class PipelineConfig:
     tenant: str = ""
     #: Per-tenant cap on in-flight write submissions (0 = uncapped).
     max_in_flight: int = 0
+    #: Channel shards the router spreads keys over (1 = no routing; must
+    #: not exceed the deployment's hosted channel count).
+    shards: int = 1
+    #: Orderer intake scheduling policy (``fifo`` or ``fair-share``),
+    #: applied to every shard's ordering service alongside this config.
+    #: ``None`` (the default) leaves whatever policy the deployment was
+    #: built with untouched.
+    scheduler: Optional[str] = None
+    #: Back the read cache with the deployment's shared cache tier instead
+    #: of a pipeline-private store (needs ``cache=True`` to matter).
+    shared_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.retry_attempts < 1:
@@ -63,6 +76,12 @@ class PipelineConfig:
             raise ConfigurationError("order_batch_size must be >= 1")
         if self.max_in_flight < 0:
             raise ConfigurationError("max_in_flight must be >= 0")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.scheduler is not None and self.scheduler not in SCHEDULER_NAMES:
+            raise ConfigurationError(
+                f"unknown scheduler {self.scheduler!r} (choose from {SCHEDULER_NAMES})"
+            )
         if self.tenant:
             tenant_namespace(self.tenant)  # validates the name
 
@@ -95,6 +114,8 @@ class PipelineConfig:
             names.append("retry")
         if self.cache:
             names.append("read-cache")
+        if self.shards > 1:
+            names.append("shard-router")
         return names
 
 
@@ -105,6 +126,8 @@ def build_client_middlewares(
     events: Optional[EventBus] = None,
     metrics: Optional[MetricsRegistry] = None,
     id_generator: Optional[DeterministicIdGenerator] = None,
+    cache_events: Optional[List[EventBus]] = None,
+    shared_cache_store: Optional[SharedReadCache] = None,
 ) -> List[Middleware]:
     """Instantiate the stock middleware chain a :class:`PipelineConfig` asks for.
 
@@ -112,9 +135,14 @@ def build_client_middlewares(
     under one request id) → metrics (counts the operation once) →
     admission control (rejects over-cap writes before they consume any
     downstream work) → tenant-prefix (namespaces keys before the cache and
-    the terminal ever see them) → retry → cache (innermost, so a retried
-    attempt can still be answered from cache and a hit short-circuits
-    everything below it).
+    the terminal ever see them) → retry → cache (so a retried attempt can
+    still be answered from cache and a hit short-circuits everything below
+    it) → shard-router (innermost: routing runs per attempt and a cache
+    hit never pays the fan-out).
+
+    ``cache_events`` overrides the cache's invalidation subscription with
+    one bus per channel shard; ``shared_cache_store`` backs the cache with
+    a cross-pipeline tier instead of a private store (``shared_cache``).
     """
     middlewares: List[Middleware] = []
     if config.tracing:
@@ -139,14 +167,18 @@ def build_client_middlewares(
         )
         middlewares.append(RetryMiddleware(policy=policy, clock=clock, metrics=metrics))
     if config.cache:
-        middlewares.append(
-            ReadCacheMiddleware(
-                capacity=config.cache_capacity,
-                hit_latency_s=config.cache_hit_latency_s,
-                events=events,
-                metrics=metrics,
-            )
+        cache = ReadCacheMiddleware(
+            capacity=config.cache_capacity,
+            hit_latency_s=config.cache_hit_latency_s,
+            events=None if cache_events is not None else events,
+            metrics=metrics,
+            store=shared_cache_store if config.shared_cache else None,
         )
+        for bus in cache_events or []:
+            cache.attach(bus)
+        middlewares.append(cache)
+    if config.shards > 1:
+        middlewares.append(ShardRouterMiddleware(config.shards, metrics=metrics))
     return middlewares
 
 
@@ -158,6 +190,8 @@ def build_client_pipeline(
     events: Optional[EventBus] = None,
     metrics: Optional[MetricsRegistry] = None,
     id_generator: Optional[DeterministicIdGenerator] = None,
+    cache_events: Optional[List[EventBus]] = None,
+    shared_cache_store: Optional[SharedReadCache] = None,
 ) -> TransactionPipeline:
     """Build a ready-to-run pipeline around ``terminal``."""
     return TransactionPipeline(
@@ -167,6 +201,8 @@ def build_client_pipeline(
             events=events,
             metrics=metrics,
             id_generator=id_generator,
+            cache_events=cache_events,
+            shared_cache_store=shared_cache_store,
         ),
         terminal,
     )

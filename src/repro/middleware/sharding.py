@@ -1,0 +1,237 @@
+"""Shard routing: consistent hashing of provenance keys onto channels.
+
+With the Fabric host running N channels (:class:`~repro.fabric.network.ChannelShard`),
+some pipeline link has to decide which channel a given operation belongs
+to.  :class:`ShardRouterMiddleware` is that link:
+
+* **Writes and key-scoped reads** route by consistent hashing on the
+  provenance key.  The hash ring is tenant-prefix aware: a key living in a
+  tenant namespace (``tenant/<name>/…``) hashes on ``tenant/<name>`` alone,
+  so all of one tenant's keys co-locate on a single channel — its commits,
+  cache invalidations and history stay shard-local.
+* **Range scans, rich queries and key history** fan out to every shard and
+  merge: range/rich rows are combined in key order (deduplicated on key,
+  newest record wins), history entries are merged in commit-timestamp
+  order.  History fans out because shard ownership can move when the ring
+  is re-sized between runs — old versions of a key may live on the shard
+  that owned it under the previous layout.
+
+The router sits at the bottom of the client chain (below the read cache,
+so a cached read never pays the fan-out) and communicates the decision to
+the terminal through ``ctx.tags["shard"]``; backends without shards simply
+ignore the tag.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+from dataclasses import replace
+from typing import Any, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.metrics import MetricsRegistry
+from repro.common.tenancy import TENANT_PREFIX, tenant_of_key
+from repro.middleware.base import Handler, Middleware
+from repro.middleware.context import Context
+
+#: Functions whose first argument names the single key they operate on.
+KEY_SCOPED_FUNCTIONS = frozenset(
+    {"get", "checkhash", "getdependencies", "set", "store_record"}
+)
+
+#: Read functions the router fans out to every shard and merges.
+FAN_OUT_FUNCTIONS = frozenset({"getbyrange", "query", "getkeyhistory"})
+
+
+def routing_key(ledger_key: str) -> str:
+    """The portion of a ledger key the hash ring sees.
+
+    Tenant-namespaced keys collapse to their ``tenant/<name>`` prefix so a
+    tenant's whole keyspace co-locates on one shard.
+    """
+    tenant = tenant_of_key(ledger_key)
+    if tenant:
+        return TENANT_PREFIX + tenant
+    return ledger_key
+
+
+class ConsistentHashRing:
+    """A classic consistent-hash ring over shard indices.
+
+    Each shard owns ``virtual_nodes`` deterministic points on the ring
+    (MD5 of ``shard:<index>:<replica>``), so adding a shard only remaps
+    ~1/N of the keyspace instead of reshuffling everything — the property
+    that makes growing from 2 to 4 channels an incremental migration.
+    """
+
+    def __init__(self, shards: int, virtual_nodes: int = 64) -> None:
+        if shards < 1:
+            raise ConfigurationError("a hash ring needs at least one shard")
+        if virtual_nodes < 1:
+            raise ConfigurationError("virtual_nodes must be >= 1")
+        self.shards = shards
+        self.virtual_nodes = virtual_nodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(virtual_nodes):
+                digest = hashlib.md5(
+                    f"shard:{shard}:{replica}".encode("ascii")
+                ).hexdigest()
+                points.append((int(digest[:16], 16), shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int(hashlib.md5(key.encode("utf-8")).hexdigest()[:16], 16)
+
+    def route(self, key: str) -> int:
+        """The shard index owning ``key`` (via its routing prefix)."""
+        if self.shards == 1:
+            return 0
+        position = bisect.bisect(self._hashes, self._hash(routing_key(key)))
+        if position == len(self._hashes):
+            position = 0
+        return self._owners[position]
+
+
+class ShardRouterMiddleware(Middleware):
+    """Routes operations onto channel shards (see module docstring)."""
+
+    name = "shard-router"
+
+    def __init__(
+        self,
+        shards: int,
+        virtual_nodes: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.ring = ConsistentHashRing(shards, virtual_nodes=virtual_nodes)
+        self.shards = shards
+        self.metrics = metrics
+
+    # ------------------------------------------------------------- pipeline
+    def handle(self, ctx: Context, call_next: Handler) -> Any:
+        if ctx.function in FAN_OUT_FUNCTIONS and ctx.is_read and self.shards > 1:
+            return self._fan_out(ctx, call_next)
+        shard = self.route_for(ctx)
+        ctx.tags["shard"] = shard
+        if self.metrics is not None:
+            self.metrics.counter(f"router.shard_{shard}").inc()
+        return call_next(ctx)
+
+    def route_for(self, ctx: Context) -> int:
+        """Single-shard routing decision for one operation."""
+        if ctx.args and (ctx.function in KEY_SCOPED_FUNCTIONS or ctx.is_write):
+            return self.ring.route(ctx.args[0])
+        if ctx.args and ctx.function in FAN_OUT_FUNCTIONS:
+            # Single-shard rings short-circuit fan-out to a plain call.
+            return self.ring.route(ctx.args[0])
+        return 0
+
+    # -------------------------------------------------------------- fan-out
+    def _fan_out(self, ctx: Context, call_next: Handler) -> Any:
+        """Run the read on every shard and merge the shard results."""
+        results = []
+        for shard in range(self.shards):
+            sub = self._sub_context(ctx, shard)
+            results.append(call_next(sub))
+        if self.metrics is not None:
+            self.metrics.counter("router.fan_outs").inc()
+        ok = [result for result in results if self._is_ok(result)]
+        if not ok:
+            return results[0]
+        merged_rows = self._merge_payloads(
+            ctx.function, [self._payload(result) for result in ok]
+        )
+        latency = max((self._latency(result) for result in ok), default=0.0)
+        return self._rebuild(ok[0], merged_rows, latency)
+
+    @staticmethod
+    def _sub_context(ctx: Context, shard: int) -> Context:
+        sub = replace(ctx, args=list(ctx.args), timings={}, tags=dict(ctx.tags))
+        sub.tags["shard"] = shard
+        return sub
+
+    # ----------------------------------------------------- result plumbing
+    @staticmethod
+    def _is_ok(result: Any) -> bool:
+        response = result[0] if isinstance(result, tuple) else result
+        return bool(getattr(response, "is_ok", False)) and isinstance(
+            getattr(response, "payload", None), str
+        )
+
+    @staticmethod
+    def _payload(result: Any) -> str:
+        response = result[0] if isinstance(result, tuple) else result
+        return response.payload
+
+    @staticmethod
+    def _latency(result: Any) -> float:
+        if isinstance(result, tuple) and len(result) == 2:
+            return float(result[1])
+        return 0.0
+
+    @staticmethod
+    def _rebuild(template: Any, payload: str, latency: float) -> Any:
+        response = template[0] if isinstance(template, tuple) else template
+        merged = replace(response, payload=payload)
+        if isinstance(template, tuple):
+            return (merged, latency)
+        return merged
+
+    # -------------------------------------------------------------- merging
+    def _merge_payloads(self, function: str, payloads: List[str]) -> str:
+        rows: List[Any] = []
+        for payload in payloads:
+            try:
+                decoded = json.loads(payload)
+            except ValueError:
+                continue
+            if isinstance(decoded, list):
+                rows.extend(decoded)
+        if function == "getkeyhistory":
+            return json.dumps(self._merge_history(rows))
+        return json.dumps(self._merge_keyed_rows(rows))
+
+    @staticmethod
+    def _merge_history(entries: List[Any]) -> List[Any]:
+        """Order history entries from several shards by commit time.
+
+        Block numbers are per-shard (each shard cuts its own chain), so
+        cross-shard ordering uses the entry's commit timestamp first and
+        only falls back to block/tx ordering to break ties within a shard.
+        """
+        def sort_key(entry: Any) -> Tuple[float, int]:
+            if not isinstance(entry, dict):
+                return (0.0, 0)
+            timestamp = entry.get("timestamp")
+            block = entry.get("block")
+            return (
+                float(timestamp) if timestamp is not None else 0.0,
+                int(block) if block is not None else 0,
+            )
+
+        return sorted(entries, key=sort_key)
+
+    @staticmethod
+    def _merge_keyed_rows(rows: List[Any]) -> List[Any]:
+        """Combine range/rich-query rows: key order, newest record wins."""
+        def record_timestamp(row: Any) -> float:
+            try:
+                return float(json.loads(row["record"]).get("timestamp", 0.0))
+            except (KeyError, TypeError, ValueError):
+                return 0.0
+
+        by_key = {}
+        for row in rows:
+            if not isinstance(row, dict) or "key" not in row:
+                continue
+            key = row["key"]
+            current = by_key.get(key)
+            if current is None or record_timestamp(row) >= record_timestamp(current):
+                by_key[key] = row
+        return [by_key[key] for key in sorted(by_key)]

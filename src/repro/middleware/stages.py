@@ -35,6 +35,8 @@ class InvokeState:
     function: str
     args: List[str]
     payload_size_bytes: int = 0
+    #: The ChannelShard the invoke runs on (duck-typed: no import cycle).
+    shard: Any = None
     start: float = 0.0
     proposal: Optional[Proposal] = None
     prep_done: float = 0.0
@@ -68,6 +70,7 @@ class BuildProposalStage(FabricStage):
         state.proposal = fabric._build_proposal(
             client, state.handle, state.chaincode, state.function,
             state.args, state.payload_size_bytes,
+            channel_name=state.shard.channel.name,
         )
         prep = (
             client.device.sign_time()
@@ -97,7 +100,7 @@ class CollectEndorsementsStage(FabricStage):
         handle = state.handle
 
         responses, endorsement_done = fabric._collect_endorsements(
-            client, state.proposal, state.prep_done
+            client, state.proposal, state.prep_done, state.shard
         )
         state.responses = responses
         state.endorsement_done = endorsement_done
@@ -129,7 +132,7 @@ class CollectEndorsementsStage(FabricStage):
 
         state.transaction = Transaction(
             tx_id=handle.tx_id,
-            channel=fabric.channel.name,
+            channel=state.shard.channel.name,
             chaincode=state.chaincode,
             function=state.function,
             args=list(state.args),
@@ -161,14 +164,14 @@ class SubmitToOrdererStage(FabricStage):
         if arrival is None:
             transfer = fabric.network.estimate_transfer_time(
                 state.client_context.host_node,
-                fabric.orderer_node,
+                state.shard.orderer_node,
                 state.transaction.size_bytes,
             )
             arrival = state.assembled_at + transfer
         state.handle.timings["to_orderer_s"] = arrival - state.assembled_at
         fabric.engine.schedule_at(
             arrival,
-            lambda: fabric._submit_to_orderer(state.transaction, state.handle),
+            lambda: fabric._submit_to_orderer(state.transaction, state.handle, state.shard),
             label=f"order:{state.handle.tx_id}",
         )
         return call_next(ctx)

@@ -27,6 +27,11 @@ from typing import Any, Optional
 
 from repro.common.errors import AdmissionRejectedError, ConfigurationError
 from repro.common.metrics import MetricsRegistry
+from repro.common.tenancy import (  # noqa: F401 - canonical home, re-exported
+    namespace_key,
+    strip_namespace,
+    tenant_namespace,
+)
 from repro.middleware.base import Handler, Middleware
 from repro.middleware.context import Context
 
@@ -38,26 +43,6 @@ KEY_SCOPED_FUNCTIONS = frozenset(
 
 #: Upper bound used to close an open-ended range within a tenant namespace.
 _RANGE_END_SENTINEL = "~"
-
-
-def tenant_namespace(tenant: str) -> str:
-    """The ledger-key prefix owned by ``tenant`` (``tenant/<name>/``)."""
-    if not tenant:
-        raise ConfigurationError("tenant name must be non-empty")
-    if "/" in tenant:
-        raise ConfigurationError(f"tenant name {tenant!r} must not contain '/'")
-    return f"tenant/{tenant}/"
-
-
-def namespace_key(tenant: str, key: str) -> str:
-    """Map a tenant-relative key to its namespaced ledger key."""
-    return tenant_namespace(tenant) + key
-
-
-def strip_namespace(tenant: str, key: str) -> str:
-    """Map a namespaced ledger key back to the tenant-relative key."""
-    prefix = tenant_namespace(tenant)
-    return key[len(prefix):] if key.startswith(prefix) else key
 
 
 class TenantPrefixMiddleware(Middleware):

@@ -13,7 +13,12 @@ from repro.workloads.payloads import (
     DataItem,
 )
 from repro.workloads.arrivals import ArrivalProcess, ClosedLoopSchedule, PoissonSchedule
-from repro.workloads.scenarios import IoTPipelineWorkload, PipelineStage
+from repro.workloads.scenarios import (
+    IoTPipelineWorkload,
+    PipelineStage,
+    SkewedTenantWorkload,
+    TenantLoadResult,
+)
 
 __all__ = [
     "PayloadGenerator",
@@ -25,4 +30,6 @@ __all__ = [
     "PoissonSchedule",
     "IoTPipelineWorkload",
     "PipelineStage",
+    "SkewedTenantWorkload",
+    "TenantLoadResult",
 ]

@@ -1,13 +1,14 @@
-"""End-to-end workload scenarios for examples and integration tests."""
+"""End-to-end workload scenarios for examples, benches and integration tests."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.api.protocol import SubmitHandle
 from repro.api.service import ProvenanceSession
 from repro.common.hashing import checksum_of
+from repro.common.metrics import percentile
 from repro.core.client import HyperProvClient
 from repro.workloads.payloads import DataItem, ImagePayloadGenerator, SensorReadingGenerator
 
@@ -127,3 +128,124 @@ class IoTPipelineWorkload:
     @property
     def total_items(self) -> int:
         return len(self.raw_posts) + len(self.derived_posts)
+
+
+# --------------------------------------------------------------------------
+# Skewed multi-tenant load (tenant-isolation benches and fairness tests)
+# --------------------------------------------------------------------------
+@dataclass
+class TenantLoadResult:
+    """Per-tenant outcome of one skewed-load run."""
+
+    tenant: str
+    submitted: int
+    committed: int
+    response_times_s: List[float] = field(default_factory=list)
+
+    @property
+    def mean_response_s(self) -> float:
+        if not self.response_times_s:
+            return float("nan")
+        return sum(self.response_times_s) / len(self.response_times_s)
+
+    def response_percentile_s(self, pct: float) -> float:
+        if not self.response_times_s:
+            return float("nan")
+        return percentile(self.response_times_s, pct)
+
+    @property
+    def p95_response_s(self) -> float:
+        return self.response_percentile_s(95)
+
+
+class SkewedTenantWorkload:
+    """Open-loop load from tenants submitting at very different rates.
+
+    The scenario behind tenant-aware scheduling: a *heavy* tenant floods
+    the ordering path while a *light* tenant trickles requests in.  Every
+    submission is a metadata-only provenance post (no off-chain payload),
+    so the measured response times isolate the ordering/commit path where
+    the intake scheduler acts.  ``run()`` schedules both tenants' arrivals
+    on the deployment's virtual clock, drains, and reports per-tenant
+    commit latencies — compare the light tenant's p95 under ``fifo`` vs
+    ``fair-share`` (or vs its solo run) to quantify starvation.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        light_requests: int = 10,
+        skew: int = 10,
+        light_interval_s: float = 0.05,
+        heavy_interval_s: Optional[float] = None,
+        light_tenant: str = "light",
+        heavy_tenant: str = "heavy",
+        payload_checksum: str = "ab" * 32,
+    ) -> None:
+        if light_requests < 1:
+            raise ValueError("light_requests must be >= 1")
+        if skew < 1:
+            raise ValueError("skew must be >= 1")
+        self.service = service
+        self.light_requests = light_requests
+        self.heavy_requests = light_requests * skew
+        self.light_interval_s = light_interval_s
+        #: Heavy arrivals default to the same window as the light tenant's.
+        self.heavy_interval_s = (
+            heavy_interval_s
+            if heavy_interval_s is not None
+            else light_interval_s / skew
+        )
+        self.light_tenant = light_tenant
+        self.heavy_tenant = heavy_tenant
+        self.payload_checksum = payload_checksum
+
+    def _submit_all(
+        self, session: ProvenanceSession, tenant: str, count: int, interval_s: float
+    ) -> List[Tuple[SubmitHandle, float]]:
+        start = self.service.deployment.engine.now
+        submissions: List[Tuple[SubmitHandle, float]] = []
+        for index in range(count):
+            at_time = start + index * interval_s
+            handle = session.submit(
+                f"{tenant}/item-{index:05d}",
+                checksum=self.payload_checksum,
+                location=f"ext://{tenant}/{index}",
+                at_time=at_time,
+            )
+            submissions.append((handle, at_time))
+        return submissions
+
+    @staticmethod
+    def _collect(tenant: str, submissions: List[Tuple[SubmitHandle, float]]) -> TenantLoadResult:
+        result = TenantLoadResult(
+            tenant=tenant, submitted=len(submissions), committed=0
+        )
+        for handle, at_time in submissions:
+            if handle.done and handle.ok:
+                result.committed += 1
+                result.response_times_s.append(handle.committed_at - at_time)
+        return result
+
+    def run(self, only_light: bool = False) -> Dict[str, TenantLoadResult]:
+        """Run the skewed load; ``only_light`` measures the light tenant solo."""
+        results: Dict[str, TenantLoadResult] = {}
+        with self.service.session(tenant=self.light_tenant) as light:
+            light_submissions = self._submit_all(
+                light, self.light_tenant, self.light_requests, self.light_interval_s
+            )
+            if not only_light:
+                with self.service.session(tenant=self.heavy_tenant) as heavy:
+                    heavy_submissions = self._submit_all(
+                        heavy, self.heavy_tenant, self.heavy_requests,
+                        self.heavy_interval_s,
+                    )
+                    self.service.drain()
+                    results[self.heavy_tenant] = self._collect(
+                        self.heavy_tenant, heavy_submissions
+                    )
+            self.service.drain()
+            results[self.light_tenant] = self._collect(
+                self.light_tenant, light_submissions
+            )
+        return results

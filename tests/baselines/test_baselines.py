@@ -1,7 +1,14 @@
-"""Tests for the ProvChain-style PoW baseline and the central DB baseline."""
+"""Tests for the ProvChain-style PoW baseline and the central DB baseline.
+
+Both baselines are exercised through their unified
+:class:`repro.api.ProvenanceStore` adapters (``as_store()``); only the
+backend-specific surfaces (``tamper``, ``verify_chain``, ``length``,
+``record_count``, ``detect_tampering``) are touched directly.
+"""
 
 import pytest
 
+from repro.api.protocol import StoreRequest
 from repro.baselines.centraldb import CentralProvenanceDatabase
 from repro.baselines.provchain import PowProvenanceChain
 from repro.common.errors import NotFoundError
@@ -9,6 +16,13 @@ from repro.common.hashing import checksum_of
 from repro.devices.model import DeviceModel
 from repro.devices.profiles import RASPBERRY_PI_3B_PLUS, XEON_E5_1603
 from repro.simulation.randomness import DeterministicRandom
+
+
+def _store(backend, key, data, creator="", at_time=None):
+    """Blocking write via the unified store surface."""
+    return backend.as_store().store(
+        StoreRequest(key=key, data=data, creator=creator), at_time=at_time
+    )
 
 
 @pytest.fixture
@@ -23,44 +37,45 @@ def pow_chain(miner):
 
 # ------------------------------------------------------------------- provchain
 def test_pow_chain_stores_and_retrieves(pow_chain):
-    result = pow_chain.store_data("item/1", b"payload", creator="alice")
+    result = _store(pow_chain, "item/1", b"payload", creator="alice")
     assert result.latency_s > 0
-    assert pow_chain.get("item/1").record.checksum == checksum_of(b"payload")
+    assert pow_chain.as_store().get("item/1").checksum == checksum_of(b"payload")
     assert pow_chain.length == 1
     assert pow_chain.verify_chain()
 
 
 def test_pow_chain_history_tracks_versions(pow_chain):
-    pow_chain.store_data("item/1", b"v1")
-    pow_chain.store_data("item/1", b"v2", at_time=10.0)
-    assert len(pow_chain.history("item/1")) == 2
-    assert pow_chain.get("item/1").record.checksum == checksum_of(b"v2")
+    store = pow_chain.as_store()
+    _store(pow_chain, "item/1", b"v1")
+    _store(pow_chain, "item/1", b"v2", at_time=10.0)
+    assert len(store.history("item/1")) == 2
+    assert store.get("item/1").checksum == checksum_of(b"v2")
 
 
 def test_pow_chain_missing_key(pow_chain):
     with pytest.raises(NotFoundError):
-        pow_chain.get("ghost")
+        pow_chain.as_store().get("ghost")
 
 
 def test_pow_chain_mining_pegs_the_cpu(pow_chain, miner):
-    result = pow_chain.store_data("item/1", b"x")
+    result = _store(pow_chain, "item/1", b"x")
     assert miner.busy_time(component="cpu") > 0
-    assert result.entry.mined_in_s >= 0
+    assert result.raw.entry.mined_in_s >= 0
 
 
 def test_pow_chain_detects_tampering(pow_chain):
-    pow_chain.store_data("item/1", b"original")
-    assert pow_chain.verify_chain()
+    _store(pow_chain, "item/1", b"original")
+    assert pow_chain.as_store().audit()
     pow_chain.tamper("item/1", checksum_of(b"forged"))
-    assert not pow_chain.verify_chain()
+    assert not pow_chain.as_store().audit()
 
 
 def test_pow_chain_is_much_slower_than_low_difficulty():
     miner = DeviceModel("m", RASPBERRY_PI_3B_PLUS, rng=DeterministicRandom(3))
     easy = PowProvenanceChain(miner, difficulty_bits=8, rng=DeterministicRandom(4))
     hard = PowProvenanceChain(miner, difficulty_bits=22, rng=DeterministicRandom(4))
-    easy_latency = easy.store_data("a", b"x").latency_s
-    hard_latency = hard.store_data("b", b"x").latency_s
+    easy_latency = _store(easy, "a", b"x").latency_s
+    hard_latency = _store(hard, "b", b"x").latency_s
     assert hard_latency > easy_latency
 
 
@@ -68,20 +83,20 @@ def test_pow_chain_is_much_slower_than_low_difficulty():
 def test_central_db_store_and_get():
     server = DeviceModel("db", XEON_E5_1603, rng=DeterministicRandom(5))
     database = CentralProvenanceDatabase(server_device=server)
-    result = database.store_data("item/1", b"payload", creator="alice")
+    result = _store(database, "item/1", b"payload", creator="alice")
     assert result.latency_s > 0
-    assert database.get("item/1").checksum == checksum_of(b"payload")
+    assert database.as_store().get("item/1").checksum == checksum_of(b"payload")
     assert database.record_count == 1
 
 
 def test_central_db_history_and_missing_key():
     server = DeviceModel("db", XEON_E5_1603)
     database = CentralProvenanceDatabase(server_device=server)
-    database.store_data("k", b"v1")
-    database.store_data("k", b"v2")
-    assert len(database.history("k")) == 2
+    _store(database, "k", b"v1")
+    _store(database, "k", b"v2")
+    assert len(database.as_store().history("k")) == 2
     with pytest.raises(NotFoundError):
-        database.get("ghost")
+        database.as_store().get("ghost")
 
 
 def test_central_db_tampering_is_silent_and_undetected():
@@ -89,10 +104,10 @@ def test_central_db_tampering_is_silent_and_undetected():
     provenance without any detectable trace."""
     server = DeviceModel("db", XEON_E5_1603)
     database = CentralProvenanceDatabase(server_device=server)
-    database.store_data("k", b"original")
+    _store(database, "k", b"original")
     forged = checksum_of(b"forged")
     database.tamper("k", forged)
-    assert database.get("k").checksum == forged
+    assert database.as_store().get("k").checksum == forged
     assert database.detect_tampering() == []
 
 
@@ -101,6 +116,6 @@ def test_central_db_is_faster_than_pow():
     database = CentralProvenanceDatabase(server_device=server)
     miner = DeviceModel("m", RASPBERRY_PI_3B_PLUS, rng=DeterministicRandom(7))
     chain = PowProvenanceChain(miner, difficulty_bits=18, rng=DeterministicRandom(8))
-    db_latency = database.store_data("k", b"x").latency_s
-    pow_latency = chain.store_data("k", b"x").latency_s
+    db_latency = _store(database, "k", b"x").latency_s
+    pow_latency = _store(chain, "k", b"x").latency_s
     assert db_latency < pow_latency

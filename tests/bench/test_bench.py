@@ -209,3 +209,33 @@ def test_cli_main_runs_ops_experiment(capsys):
     captured = capsys.readouterr()
     assert exit_code == 0
     assert "operator" in captured.out
+
+
+# ----------------------------------------------------------- sharding ablation
+def test_sharding_ablation_scales_write_throughput():
+    from repro.bench.ablation_sharding import run_sharding_ablation
+
+    ablation = run_sharding_ablation(shard_counts=(1, 2), requests=60)
+    assert [r.committed for r in ablation.results] == [60, 60]
+    assert ablation.speedup > 1.2  # two ordering machines beat one
+    rendered = ablation.to_table().render()
+    assert "shards" in rendered
+
+
+def test_cli_exposes_shards_and_scheduler_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["ablation-sharding", "--shards", "2", "--scheduler", "fair-share"]
+    )
+    assert args.shards == 2
+    assert args.scheduler == "fair-share"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["ablation-sharding", "--scheduler", "lifo"])
+
+
+def test_cli_main_runs_sharding_experiment(capsys):
+    exit_code = main(["ablation-sharding", "--shards", "2", "--requests", "4"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "tenant isolation" in captured.out
+    assert "throughput scaling" in captured.out

@@ -1,0 +1,80 @@
+"""Property-style fairness tests: a heavy tenant must not starve light ones.
+
+The scenario matches the sharding ablation's tenant-isolation experiment:
+the orderer has an explicit per-envelope intake cost, the heavy tenant
+bursts ``skew``× the light tenant's load into the queue, and the intake
+scheduler decides who waits.  Deterministic seeds make the latency
+assertions exact rather than flaky.
+"""
+
+import pytest
+
+from repro.api.service import HyperProvService
+from repro.consensus.batching import BatchConfig
+from repro.core.topology import build_desktop_deployment
+from repro.workloads.scenarios import SkewedTenantWorkload
+
+LIGHT_REQUESTS = 10
+SKEW = 10
+
+
+def run_workload(scheduler, only_light=False, seed=42):
+    deployment = build_desktop_deployment(
+        seed=seed,
+        scheduler=scheduler,
+        orderer_intake_interval_s=0.01,
+        batch_config=BatchConfig(batch_timeout_s=0.25),
+    )
+    workload = SkewedTenantWorkload(
+        HyperProvService(deployment),
+        light_requests=LIGHT_REQUESTS,
+        skew=SKEW,
+        light_interval_s=0.05,
+        heavy_interval_s=0.001,
+    )
+    return workload.run(only_light=only_light)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return {
+        "solo": run_workload("fifo", only_light=True)["light"],
+        "fifo": run_workload("fifo"),
+        "fair": run_workload("fair-share"),
+    }
+
+
+def test_every_run_commits_all_submissions(measurements):
+    assert measurements["solo"].committed == LIGHT_REQUESTS
+    for run in ("fifo", "fair"):
+        assert measurements[run]["light"].committed == LIGHT_REQUESTS
+        assert measurements[run]["heavy"].committed == LIGHT_REQUESTS * SKEW
+
+
+def test_fifo_baseline_shows_the_starvation_gap(measurements):
+    """Under FIFO the light tenant queues behind the heavy burst."""
+    solo = measurements["solo"].p95_response_s
+    fifo_light = measurements["fifo"]["light"].p95_response_s
+    assert fifo_light / solo >= 2.0
+
+
+def test_fair_share_bounds_light_tenant_latency(measurements):
+    """With fair-share intake the light tenant's p95 stays within a
+    bounded factor of its solo run despite the 10x heavier neighbour."""
+    solo = measurements["solo"].p95_response_s
+    fair_light = measurements["fair"]["light"].p95_response_s
+    assert fair_light / solo <= 2.5
+
+
+def test_fair_share_beats_fifo_for_the_light_tenant(measurements):
+    fifo_light = measurements["fifo"]["light"].p95_response_s
+    fair_light = measurements["fair"]["light"].p95_response_s
+    assert fair_light < fifo_light * 0.75
+
+
+def test_fair_share_does_not_collapse_heavy_throughput(measurements):
+    """Fairness reorders, it does not throttle: the heavy tenant still
+    commits everything, at a p95 within 2x of its FIFO run."""
+    fifo_heavy = measurements["fifo"]["heavy"].p95_response_s
+    fair_heavy = measurements["fair"]["heavy"].p95_response_s
+    assert fair_heavy <= fifo_heavy * 2.0

@@ -1,0 +1,190 @@
+"""Unit tests for the pluggable orderer intake schedulers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.consensus.batching import BatchConfig
+from repro.consensus.scheduler import (
+    FairShareScheduler,
+    FifoScheduler,
+    interleave_positions,
+    make_scheduler,
+    tenant_of_key,
+    tenant_of_transaction,
+)
+from repro.consensus.solo import SoloOrderingService
+from repro.ledger.transaction import ReadWriteSet, Transaction
+from repro.simulation.engine import SimulationEngine
+
+
+def make_tx(tx_id, key):
+    rw_set = ReadWriteSet()
+    rw_set.add_write(key, "v")
+    return Transaction(
+        tx_id=tx_id, channel="ch", chaincode="cc", function="set",
+        args=[key], rw_set=rw_set,
+    )
+
+
+# ------------------------------------------------------------ tenant parsing
+def test_tenant_of_key_parses_namespaced_keys():
+    assert tenant_of_key("tenant/acme/item/1") == "acme"
+    assert tenant_of_key("item/1") == ""
+    assert tenant_of_key("tenant/loner") == ""  # no key below the prefix
+
+
+def test_tenant_of_transaction_prefers_write_set():
+    tx = make_tx("t1", "tenant/a/k")
+    assert tenant_of_transaction(tx) == "a"
+    bare = make_tx("t2", "plain/k")
+    assert tenant_of_transaction(bare) == ""
+
+
+# --------------------------------------------------------------------- fifo
+def test_fifo_scheduler_preserves_arrival_order():
+    scheduler = FifoScheduler()
+    for i in range(5):
+        scheduler.enqueue(make_tx(f"t{i}", f"tenant/a/k{i}"))
+    order = [scheduler.next_transaction().tx_id for _ in range(5)]
+    assert order == [f"t{i}" for i in range(5)]
+    assert scheduler.next_transaction() is None
+    assert scheduler.pending == 0
+
+
+# --------------------------------------------------------------- fair share
+def test_fair_share_interleaves_tenants_one_to_one():
+    scheduler = FairShareScheduler()
+    # Heavy tenant enqueues a 10x backlog before light's first arrival.
+    for i in range(10):
+        scheduler.enqueue(make_tx(f"h{i}", f"tenant/heavy/k{i}"))
+    scheduler.enqueue(make_tx("l0", "tenant/light/k0"))
+    scheduler.enqueue(make_tx("l1", "tenant/light/k1"))
+    served = [scheduler.next_transaction() for _ in range(scheduler.pending)]
+    positions = interleave_positions(served)
+    # The light tenant is served within the first rounds, not after the
+    # heavy backlog drains (FIFO would put it at positions 10 and 11).
+    assert positions["light"] == [1, 3]
+    assert scheduler.served["heavy"] == 10
+
+
+def test_fair_share_weights_buy_extra_slots():
+    scheduler = FairShareScheduler(weights={"gold": 2.0})
+    for i in range(6):
+        scheduler.enqueue(make_tx(f"g{i}", f"tenant/gold/k{i}"))
+        scheduler.enqueue(make_tx(f"s{i}", f"tenant/silver/k{i}"))
+    served = [scheduler.next_transaction() for _ in range(12)]
+    first_six = [tenant_of_transaction(tx) for tx in served[:6]]
+    # Per round: gold serves two for silver's one.
+    assert first_six.count("gold") == 4
+    assert first_six.count("silver") == 2
+
+
+def test_fair_share_rejects_non_positive_weights():
+    with pytest.raises(ConfigurationError):
+        FairShareScheduler(weights={"a": 0})
+    with pytest.raises(ConfigurationError):
+        FairShareScheduler(default_weight=-1)
+
+
+def test_fair_share_pending_by_tenant():
+    scheduler = FairShareScheduler()
+    scheduler.enqueue(make_tx("a0", "tenant/a/k"))
+    scheduler.enqueue(make_tx("b0", "tenant/b/k"))
+    scheduler.enqueue(make_tx("b1", "tenant/b/k2"))
+    assert scheduler.pending_by_tenant() == {"a": 1, "b": 2}
+
+
+# ------------------------------------------------------------------ factory
+def test_make_scheduler_names():
+    assert isinstance(make_scheduler("fifo"), FifoScheduler)
+    assert isinstance(make_scheduler("fair-share"), FairShareScheduler)
+    with pytest.raises(ConfigurationError):
+        make_scheduler("priority")
+
+
+# ------------------------------------------------------------ orderer intake
+def _consume(orderer, blocks):
+    orderer.register_consumer(blocks.append)
+
+
+def test_orderer_with_default_scheduler_matches_arrival_order():
+    engine = SimulationEngine()
+    orderer = SoloOrderingService(
+        "o", engine, batch_config=BatchConfig(max_message_count=3)
+    )
+    blocks = []
+    _consume(orderer, blocks)
+    for i in range(3):
+        orderer.submit(make_tx(f"t{i}", f"k{i}"))
+    assert len(blocks) == 1
+    assert [tx.tx_id for tx in blocks[0].transactions] == ["t0", "t1", "t2"]
+
+
+def test_intake_interval_forms_backlog_and_drains_on_engine_run():
+    engine = SimulationEngine()
+    orderer = SoloOrderingService(
+        "o", engine,
+        batch_config=BatchConfig(max_message_count=4),
+        intake_interval_s=0.1,
+    )
+    blocks = []
+    _consume(orderer, blocks)
+    for i in range(4):
+        orderer.submit(make_tx(f"t{i}", f"k{i}"))
+    # Nothing reached the cutter synchronously: all four queue at intake.
+    assert orderer.intake_backlog == 4
+    assert blocks == []
+    engine.run_until_idle()
+    assert blocks and [tx.tx_id for tx in blocks[0].transactions] == [
+        "t0", "t1", "t2", "t3"
+    ]
+    # One envelope per interval: the batch completed at ~4 intervals.
+    assert engine.now == pytest.approx(0.4)
+
+
+def test_flush_drains_scheduler_backlog_immediately():
+    engine = SimulationEngine()
+    orderer = SoloOrderingService(
+        "o", engine,
+        batch_config=BatchConfig(max_message_count=100),
+        intake_interval_s=0.5,
+    )
+    blocks = []
+    _consume(orderer, blocks)
+    for i in range(3):
+        orderer.submit(make_tx(f"t{i}", f"k{i}"))
+    orderer.flush()
+    assert orderer.intake_backlog == 0
+    assert len(blocks) == 1 and blocks[0].tx_count == 3
+
+
+def test_set_scheduler_carries_backlog_over():
+    engine = SimulationEngine()
+    orderer = SoloOrderingService(
+        "o", engine,
+        batch_config=BatchConfig(max_message_count=100),
+        intake_interval_s=1.0,
+    )
+    blocks = []
+    _consume(orderer, blocks)
+    orderer.submit(make_tx("t0", "tenant/a/k"))
+    orderer.submit(make_tx("t1", "tenant/b/k"))
+    assert orderer.intake_backlog == 2
+    orderer.set_scheduler(FairShareScheduler())
+    assert orderer.intake_backlog == 2
+    orderer.flush()
+    assert len(blocks) == 1 and blocks[0].tx_count == 2
+
+
+def test_fair_share_fractional_weights_make_progress():
+    """Regression: a sub-1 weight must accumulate credit, not spin forever."""
+    scheduler = FairShareScheduler(weights={"slow": 0.5})
+    for i in range(4):
+        scheduler.enqueue(make_tx(f"s{i}", "tenant/slow/k"))
+        scheduler.enqueue(make_tx(f"f{i}", "tenant/fast/k"))
+    served = [scheduler.next_transaction() for _ in range(8)]
+    assert all(tx is not None for tx in served)
+    tenants = [tenant_of_transaction(tx) for tx in served]
+    # The slow tenant gets roughly one slot per two of the fast tenant's.
+    assert tenants.count("slow") == 4 and tenants.count("fast") == 4
+    assert tenants[:3].count("fast") >= 2

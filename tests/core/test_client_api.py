@@ -1,7 +1,14 @@
-"""Tests for the HyperProv client library (the paper's operator set)."""
+"""Tests for the HyperProv client library (the paper's operator set).
+
+Writes and key-scoped reads go through the unified
+:class:`repro.api.ProvenanceStore` surface (``client.as_store()``); the
+remaining operator-specific extensions (``get_data``, ``get_dependencies``,
+``get_lineage``, ``get_by_range``) stay on the client.
+"""
 
 import pytest
 
+from repro.api.protocol import StoreRequest
 from repro.chaincode.records import ProvenanceRecord
 from repro.common.errors import ChaincodeError, NotFoundError, ValidationError
 from repro.common.hashing import checksum_of
@@ -24,15 +31,18 @@ def test_init_fails_without_chaincode(desktop_deployment):
 
 
 def test_post_and_get_metadata_only(desktop_deployment):
-    client = desktop_deployment.client
+    store = desktop_deployment.client.as_store()
     checksum = checksum_of(b"already stored elsewhere")
-    post = client.post(
-        key="external/1", checksum=checksum, location="file://edge-1/external/1",
-        metadata={"source": "camera"}, size_bytes=17,
+    post = store.submit(
+        StoreRequest(
+            key="external/1", checksum=checksum,
+            location="file://edge-1/external/1",
+            metadata={"source": "camera"}, size_bytes=17,
+        )
     )
     desktop_deployment.drain()
-    assert post.handle.is_valid
-    record = client.get("external/1").payload
+    assert post.ok
+    record = store.get("external/1")
     assert record.checksum == checksum
     assert record.location == "file://edge-1/external/1"
     assert record.metadata == {"source": "camera"}
@@ -42,10 +52,13 @@ def test_post_and_get_metadata_only(desktop_deployment):
 
 def test_store_data_roundtrip_with_offchain_storage(desktop_deployment):
     client = desktop_deployment.client
+    store = client.as_store()
     payload = b"sensor reading 21.5C"
-    post = client.store_data("sensors/1/r1", payload, metadata={"unit": "C"})
+    post = store.submit(
+        StoreRequest(key="sensors/1/r1", data=payload, metadata={"unit": "C"})
+    )
     desktop_deployment.drain()
-    assert post.handle.is_valid
+    assert post.ok
     assert post.storage_receipt is not None
     assert post.storage_receipt.checksum == checksum_of(payload)
 
@@ -59,7 +72,7 @@ def test_store_data_roundtrip_with_offchain_storage(desktop_deployment):
 def test_get_data_detects_offchain_tampering(desktop_deployment):
     client = desktop_deployment.client
     payload = b"original"
-    post = client.store_data("tamper/1", payload)
+    post = client.as_store().submit(StoreRequest(key="tamper/1", data=payload))
     desktop_deployment.drain()
     # Corrupt the off-chain object behind the chain's back.
     path = desktop_deployment.storage.path_for(post.record.checksum)
@@ -72,33 +85,36 @@ def test_get_data_detects_offchain_tampering(desktop_deployment):
         client.get_data("tamper/1")
 
 
-def test_check_hash_accepts_bytes_and_checksums(desktop_deployment):
-    client = desktop_deployment.client
+def test_verify_accepts_bytes_and_checksums(desktop_deployment):
+    store = desktop_deployment.client.as_store()
     payload = b"integrity matters"
-    client.store_data("check/1", payload)
+    store.submit(StoreRequest(key="check/1", data=payload))
     desktop_deployment.drain()
-    assert client.check_hash("check/1", payload).payload is True
-    assert client.check_hash("check/1", checksum_of(payload)).payload is True
-    assert client.check_hash("check/1", b"modified").payload is False
+    assert store.verify("check/1", payload).matches is True
+    assert store.verify("check/1", checksum_of(payload)).matches is True
+    assert store.verify("check/1", b"modified").matches is False
 
 
-def test_get_key_history_shows_every_version(desktop_deployment):
-    client = desktop_deployment.client
+def test_history_shows_every_version(desktop_deployment):
+    store = desktop_deployment.client.as_store()
     for version in (b"v1", b"v2", b"v3"):
-        client.store_data("versioned/key", version)
+        store.submit(StoreRequest(key="versioned/key", data=version))
         desktop_deployment.drain()
-    history = client.get_key_history("versioned/key")
-    assert len(history.payload) == 3
-    checksums = [entry["record"].checksum for entry in history.payload]
+    history = store.history("versioned/key")
+    assert len(history) == 3
+    checksums = [view.checksum for view in history.records]
     assert checksums == [checksum_of(b"v1"), checksum_of(b"v2"), checksum_of(b"v3")]
 
 
 def test_get_dependencies_and_lineage(desktop_deployment):
     client = desktop_deployment.client
-    client.store_data("raw/a", b"a")
-    client.store_data("raw/b", b"b")
+    store = client.as_store()
+    store.submit(StoreRequest(key="raw/a", data=b"a"))
+    store.submit(StoreRequest(key="raw/b", data=b"b"))
     desktop_deployment.drain()
-    client.store_data("derived/ab", b"ab", dependencies=["raw/a", "raw/b"])
+    store.submit(
+        StoreRequest(key="derived/ab", data=b"ab", dependencies=("raw/a", "raw/b"))
+    )
     desktop_deployment.drain()
 
     deps = client.get_dependencies("derived/ab").payload
@@ -111,8 +127,9 @@ def test_get_dependencies_and_lineage(desktop_deployment):
 
 def test_get_by_range_excludes_internal_keys(desktop_deployment):
     client = desktop_deployment.client
-    client.store_data("range/a", b"1")
-    client.store_data("range/b", b"2")
+    store = client.as_store()
+    store.submit(StoreRequest(key="range/a", data=b"1"))
+    store.submit(StoreRequest(key="range/b", data=b"2"))
     desktop_deployment.drain()
     rows = client.get_by_range("range/", "range/~").payload
     assert [row["key"] for row in rows] == ["range/a", "range/b"]
@@ -120,10 +137,11 @@ def test_get_by_range_excludes_internal_keys(desktop_deployment):
 
 
 def test_get_missing_key_raises(desktop_deployment):
+    store = desktop_deployment.client.as_store()
     with pytest.raises(NotFoundError):
-        desktop_deployment.client.get("does/not/exist")
+        store.get("does/not/exist")
     with pytest.raises(NotFoundError):
-        desktop_deployment.client.get_key_history("does/not/exist")
+        store.history("does/not/exist")
 
 
 def test_store_data_requires_storage_backend(desktop_deployment):
@@ -131,15 +149,16 @@ def test_store_data_requires_storage_backend(desktop_deployment):
         network=desktop_deployment.fabric, client_name="hyperprov-client", storage=None
     )
     with pytest.raises(ValidationError):
-        client.store_data("k", b"x")
+        client.as_store().submit(StoreRequest(key="k", data=b"x"))
     with pytest.raises(ValidationError):
         client.get_data("k")
 
 
 def test_query_latencies_are_recorded(desktop_deployment):
     client = desktop_deployment.client
-    client.store_data("lat/1", b"x")
+    store = client.as_store()
+    store.submit(StoreRequest(key="lat/1", data=b"x"))
     desktop_deployment.drain()
-    result = client.get("lat/1")
+    result = store.get("lat/1")
     assert result.latency_s > 0
     assert client.metrics.get_histogram("get_latency_s").count == 1

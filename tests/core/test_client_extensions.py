@@ -3,6 +3,7 @@ ownership access control, chaincode events and parallel validation."""
 
 import pytest
 
+from repro.api.protocol import StoreRequest
 from repro.bench.ablation_fastfabric import run_fastfabric_ablation
 from repro.common.errors import ChaincodeError
 from repro.common.hashing import checksum_of
@@ -14,8 +15,9 @@ from repro.ledger.transaction import TxValidationCode
 # ----------------------------------------------------------------- rich query
 def test_query_records_by_creator_and_metadata(desktop_deployment):
     client = desktop_deployment.client
-    client.store_data("q/a", b"a", metadata={"station": "tromso-01"})
-    client.store_data("q/b", b"b", metadata={"station": "oslo-02"})
+    store = client.as_store()
+    store.submit(StoreRequest(key="q/a", data=b"a", metadata={"station": "tromso-01"}))
+    store.submit(StoreRequest(key="q/b", data=b"b", metadata={"station": "oslo-02"}))
     desktop_deployment.drain()
 
     by_creator = client.query_records({"creator": "hyperprov-client"}).payload
@@ -30,9 +32,10 @@ def test_query_records_by_creator_and_metadata(desktop_deployment):
 
 def test_query_records_by_dependency(desktop_deployment):
     client = desktop_deployment.client
-    client.store_data("q/raw", b"raw")
+    store = client.as_store()
+    store.submit(StoreRequest(key="q/raw", data=b"raw"))
     desktop_deployment.drain()
-    client.store_data("q/derived", b"derived", dependencies=["q/raw"])
+    store.submit(StoreRequest(key="q/derived", data=b"derived", dependencies=("q/raw",)))
     desktop_deployment.drain()
     rows = client.query_records({"dependencies": "q/raw"}).payload
     assert [row["key"] for row in rows] == ["q/derived"]
@@ -40,7 +43,7 @@ def test_query_records_by_dependency(desktop_deployment):
 
 def test_query_records_rejects_bad_selector(desktop_deployment):
     client = desktop_deployment.client
-    client.store_data("q/x", b"x")
+    client.as_store().submit(StoreRequest(key="q/x", data=b"x"))
     desktop_deployment.drain()
     with pytest.raises(ChaincodeError):
         client.query_records({})
@@ -68,42 +71,43 @@ def second_org_client(desktop_deployment):
 
 
 def test_other_organization_cannot_update_owned_key(desktop_deployment, second_org_client):
-    owner = desktop_deployment.client
-    owner.store_data("owned/key", b"v1")
+    owner = desktop_deployment.client.as_store()
+    owner.submit(StoreRequest(key="owned/key", data=b"v1"))
     desktop_deployment.drain()
 
     # org2's client tries to overwrite org1's record: rejected at endorsement.
-    attempt = second_org_client.post(
-        key="owned/key", checksum=checksum_of(b"forged"), location="loc"
+    attempt = second_org_client.as_store().submit(
+        StoreRequest(key="owned/key", checksum=checksum_of(b"forged"), location="loc")
     )
     desktop_deployment.drain()
-    assert attempt.handle.is_complete
+    assert attempt.done
     assert attempt.handle.validation_code is TxValidationCode.ENDORSEMENT_POLICY_FAILURE
 
     # The original record is untouched, and the owner can still update it.
-    assert owner.get("owned/key").payload.checksum == checksum_of(b"v1")
-    update = owner.store_data("owned/key", b"v2")
+    assert owner.get("owned/key").checksum == checksum_of(b"v1")
+    update = owner.submit(StoreRequest(key="owned/key", data=b"v2"))
     desktop_deployment.drain()
-    assert update.handle.is_valid
+    assert update.ok
 
 
 def test_other_organization_cannot_delete_owned_key(desktop_deployment, second_org_client):
-    owner = desktop_deployment.client
-    owner.store_data("owned/delete-me", b"v1")
+    owner = desktop_deployment.client.as_store()
+    owner.submit(StoreRequest(key="owned/delete-me", data=b"v1"))
     desktop_deployment.drain()
     handle = desktop_deployment.fabric.submit_transaction(
         "org2-client", "hyperprov", "delete", ["owned/delete-me"]
     )
     desktop_deployment.drain()
     assert not handle.is_valid
-    assert owner.get("owned/delete-me").payload.checksum == checksum_of(b"v1")
+    assert owner.get("owned/delete-me").checksum == checksum_of(b"v1")
 
 
 def test_second_org_can_create_its_own_keys(desktop_deployment, second_org_client):
-    post = second_org_client.store_data("org2/data", b"theirs")
+    store = second_org_client.as_store()
+    post = store.submit(StoreRequest(key="org2/data", data=b"theirs"))
     desktop_deployment.drain()
-    assert post.handle.is_valid
-    record = second_org_client.get("org2/data").payload
+    assert post.ok
+    record = store.get("org2/data")
     assert record.organization == "org2"
 
 
@@ -113,7 +117,7 @@ def test_provenance_recorded_event_fires_on_commit(desktop_deployment):
     received = []
     client.on_provenance_recorded(received.append)
 
-    post = client.store_data("events/1", b"payload")
+    post = client.as_store().submit(StoreRequest(key="events/1", data=b"payload"))
     assert received == []  # nothing until the block commits
     desktop_deployment.drain()
 
@@ -130,8 +134,9 @@ def test_no_event_for_invalidated_transaction(desktop_deployment):
     received = []
     client.on_provenance_recorded(received.append)
     # Two conflicting updates: only the winner emits an event.
-    client.post(key="events/conflict", checksum=checksum_of(b"a"), location="loc")
-    client.post(key="events/conflict", checksum=checksum_of(b"b"), location="loc")
+    store = client.as_store()
+    store.submit(StoreRequest(key="events/conflict", checksum=checksum_of(b"a"), location="loc"))
+    store.submit(StoreRequest(key="events/conflict", checksum=checksum_of(b"b"), location="loc"))
     desktop_deployment.drain()
     assert len(received) == 1
 
@@ -146,6 +151,6 @@ def test_parallel_validation_never_slower():
 def test_parallel_validation_flag_reaches_peers():
     deployment = build_desktop_deployment(parallel_validation=True, seed=2)
     assert all(peer.parallel_validation for peer in deployment.peers)
-    post = deployment.client.store_data("pv/1", b"x")
+    post = deployment.client.as_store().submit(StoreRequest(key="pv/1", data=b"x"))
     deployment.drain()
-    assert post.handle.is_valid
+    assert post.ok

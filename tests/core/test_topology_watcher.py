@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.errors import ConfigurationError
+from repro.api.protocol import StoreRequest
 from repro.consensus.batching import BatchConfig
 from repro.consensus.raft import RaftOrderingService
 from repro.consensus.solo import SoloOrderingService
@@ -41,8 +42,8 @@ def test_rpi_deployment_uses_rpi_profiles(rpi_deployment):
 def test_deployments_are_deterministic_given_seed():
     first = build_desktop_deployment(seed=7)
     second = build_desktop_deployment(seed=7)
-    post1 = first.client.store_data("k", b"x")
-    post2 = second.client.store_data("k", b"x")
+    post1 = first.client.as_store().submit(StoreRequest(key="k", data=b"x"))
+    post2 = second.client.as_store().submit(StoreRequest(key="k", data=b"x"))
     first.drain()
     second.drain()
     assert post1.handle.latency_s == pytest.approx(post2.handle.latency_s)
@@ -52,10 +53,10 @@ def test_raft_deployment_builds_and_commits():
     deployment = build_desktop_deployment(ordering="raft", seed=3)
     assert isinstance(deployment.fabric.orderer, RaftOrderingService)
     deployment.engine.run(until=1.0)
-    post = deployment.client.store_data("raft/1", b"x")
+    post = deployment.client.as_store().submit(StoreRequest(key="raft/1", data=b"x"))
     deployment.drain()
-    assert post.handle.is_complete
-    assert post.handle.is_valid
+    assert post.done
+    assert post.ok
 
 
 def test_custom_batch_config_is_applied():
@@ -95,9 +96,9 @@ def test_separate_client_host_supported():
     deployment = build_deployment(spec)
     context = deployment.fabric.client_context("hyperprov-client")
     assert context.host_node == "client"
-    post = deployment.client.store_data("k", b"x")
+    post = deployment.client.as_store().submit(StoreRequest(key="k", data=b"x"))
     deployment.drain()
-    assert post.handle.is_valid
+    assert post.ok
 
 
 def test_device_lookup_helper(desktop_deployment):
@@ -130,10 +131,10 @@ def test_watcher_links_versions_as_dependencies(desktop_deployment):
     desktop_deployment.drain()
     watcher.observe("data.csv", b"v2")
     desktop_deployment.drain()
-    record = desktop_deployment.client.get("w/data.csv").payload
-    assert record.dependencies == ["w/data.csv"]
-    history = desktop_deployment.client.get_key_history("w/data.csv").payload
-    assert len(history) == 2
+    store = desktop_deployment.client.as_store()
+    record = store.get("w/data.csv")
+    assert list(record.dependencies) == ["w/data.csv"]
+    assert len(store.history("w/data.csv")) == 2
 
 
 def test_watcher_without_derivation_tracking(desktop_deployment):
@@ -142,5 +143,5 @@ def test_watcher_without_derivation_tracking(desktop_deployment):
     desktop_deployment.drain()
     watcher.observe("x", b"v2")
     desktop_deployment.drain()
-    record = desktop_deployment.client.get("w/x").payload
-    assert record.dependencies == []
+    record = desktop_deployment.client.as_store().get("w/x")
+    assert list(record.dependencies) == []

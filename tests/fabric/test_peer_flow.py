@@ -5,6 +5,7 @@ import pytest
 from repro.chaincode.hyperprov import HyperProvChaincode
 from repro.chaincode.records import ProvenanceRecord
 from repro.common.errors import EndorsementError
+from repro.api.protocol import StoreRequest
 from repro.common.hashing import checksum_of
 from repro.consensus.batching import BatchConfig
 from repro.core.topology import build_desktop_deployment
@@ -78,13 +79,14 @@ def test_peer_rejects_chaincode_app_error(single_peer, organizations):
 
 # ------------------------------------------------------------------ full flow
 def test_full_invoke_flow_commits_on_all_peers(desktop_deployment):
-    client = desktop_deployment.client
-    post = client.post(
-        key="data/1", checksum=checksum_of(b"x"), location="ssh://storage/data/1"
+    store = desktop_deployment.client.as_store()
+    post = store.submit(
+        StoreRequest(key="data/1", checksum=checksum_of(b"x"),
+                     location="ssh://storage/data/1")
     )
     desktop_deployment.drain()
-    assert post.handle.is_complete
-    assert post.handle.is_valid
+    assert post.done
+    assert post.ok
     assert post.handle.latency_s > 0
     heights = desktop_deployment.fabric.ledger_heights()
     assert set(heights.values()) == {1}
@@ -94,35 +96,35 @@ def test_full_invoke_flow_commits_on_all_peers(desktop_deployment):
 
 
 def test_query_does_not_create_blocks(desktop_deployment):
-    client = desktop_deployment.client
-    post = client.post(key="q/1", checksum=checksum_of(b"x"), location="loc")
+    store = desktop_deployment.client.as_store()
+    post = store.submit(StoreRequest(key="q/1", checksum=checksum_of(b"x"), location="loc"))
     desktop_deployment.drain()
     heights_before = desktop_deployment.fabric.ledger_heights()
-    result = client.get("q/1")
-    assert isinstance(result.payload, ProvenanceRecord)
+    result = store.get("q/1")
+    assert isinstance(result.record, ProvenanceRecord)
     assert result.latency_s > 0
     assert desktop_deployment.fabric.ledger_heights() == heights_before
-    assert post.handle.is_valid
+    assert post.ok
 
 
 def test_duplicate_key_updates_create_history(desktop_deployment):
-    client = desktop_deployment.client
+    store = desktop_deployment.client.as_store()
     for version in range(3):
-        client.post(
-            key="versioned", checksum=checksum_of(f"v{version}".encode()), location="loc"
+        store.submit(
+            StoreRequest(key="versioned", checksum=checksum_of(f"v{version}".encode()),
+                         location="loc")
         )
         desktop_deployment.drain()
-    history = client.get_key_history("versioned").payload
-    assert len(history) == 3
+    assert len(store.history("versioned")) == 3
 
 
 def test_mvcc_conflict_between_concurrent_writers(desktop_deployment):
     """Two transactions writing the same key in the same block: the second
     one read the same version as the first, so it must be invalidated."""
-    client = desktop_deployment.client
+    store = desktop_deployment.client.as_store()
     checksum = checksum_of(b"x")
-    first = client.post(key="conflict", checksum=checksum, location="loc-a")
-    second = client.post(key="conflict", checksum=checksum, location="loc-b")
+    first = store.submit(StoreRequest(key="conflict", checksum=checksum, location="loc-a"))
+    second = store.submit(StoreRequest(key="conflict", checksum=checksum, location="loc-b"))
     desktop_deployment.drain()
     codes = {first.handle.validation_code, second.handle.validation_code}
     assert TxValidationCode.VALID in codes
@@ -144,16 +146,16 @@ def test_batch_size_one_gives_one_block_per_tx():
     deployment = build_desktop_deployment(
         batch_config=BatchConfig(max_message_count=1), seed=1
     )
-    client = deployment.client
+    store = deployment.client.as_store()
     for i in range(3):
-        client.post(key=f"k{i}", checksum=checksum_of(b"x"), location="loc")
+        store.submit(StoreRequest(key=f"k{i}", checksum=checksum_of(b"x"), location="loc"))
         deployment.drain()
     assert set(deployment.fabric.ledger_heights().values()) == {3}
 
 
 def test_transaction_handle_timings_populated(desktop_deployment):
-    client = desktop_deployment.client
-    post = client.post(key="t/1", checksum=checksum_of(b"x"), location="loc")
+    store = desktop_deployment.client.as_store()
+    post = store.submit(StoreRequest(key="t/1", checksum=checksum_of(b"x"), location="loc"))
     desktop_deployment.drain()
     handle = post.handle
     assert handle.endorsed_at > handle.submitted_at

@@ -7,6 +7,7 @@ contention, partition behaviour and recovery of lineage from chain state.
 
 import pytest
 
+from repro.api.protocol import StoreRequest
 from repro.common.errors import PartitionError
 from repro.common.hashing import checksum_of
 from repro.consensus.batching import BatchConfig
@@ -47,7 +48,7 @@ def test_ledger_is_tamper_evident(desktop_deployment):
     """Rewriting a committed transaction on one peer breaks its chain
     verification while honest peers still verify — the core guarantee."""
     client = desktop_deployment.client
-    client.store_data("evidence/1", b"original data")
+    client.as_store().submit(StoreRequest(key="evidence/1", data=b"original data"))
     desktop_deployment.drain()
 
     victim = desktop_deployment.peers[0]
@@ -61,25 +62,25 @@ def test_ledger_is_tamper_evident(desktop_deployment):
 
 
 def test_history_survives_world_state_deletion(desktop_deployment):
-    client = desktop_deployment.client
-    client.store_data("ephemeral/1", b"short lived")
+    store = desktop_deployment.client.as_store()
+    store.submit(StoreRequest(key="ephemeral/1", data=b"short lived"))
     desktop_deployment.drain()
     handle = desktop_deployment.fabric.submit_transaction(
         "hyperprov-client", "hyperprov", "delete", ["ephemeral/1"]
     )
     desktop_deployment.drain()
     assert handle.is_valid
-    history = client.get_key_history("ephemeral/1").payload
+    history = store.history("ephemeral/1")
     assert len(history) == 2
-    assert history[-1].get("deleted") is True
+    assert history.entries[-1].deleted is True
 
 
 def test_partitioned_peer_misses_blocks_and_no_endorsement_majority_fails():
     deployment = build_desktop_deployment(
         batch_config=BatchConfig(max_message_count=1), seed=9
     )
-    client = deployment.client
-    client.store_data("pre-partition", b"x")
+    store = deployment.client.as_store()
+    store.submit(StoreRequest(key="pre-partition", data=b"x"))
     deployment.drain()
 
     # Cut off two of the four peers: the majority (3-of-4) endorsement policy
@@ -90,16 +91,16 @@ def test_partitioned_peer_misses_blocks_and_no_endorsement_majority_fails():
     isolated = [deployment.peers[0].name, deployment.peers[1].name]
     deployment.network.partitions.partition([sorted(reachable), isolated])
 
-    post = client.store_data("during-partition", b"y")
+    post = store.submit(StoreRequest(key="during-partition", data=b"y"))
     deployment.drain()
-    assert post.handle.is_complete
+    assert post.done
     assert post.handle.validation_code is TxValidationCode.ENDORSEMENT_POLICY_FAILURE
 
     # Heal the partition: new transactions commit again on the reachable peers.
     deployment.network.partitions.heal()
-    recovered = client.store_data("after-heal", b"z")
+    recovered = store.submit(StoreRequest(key="after-heal", data=b"z"))
     deployment.drain()
-    assert recovered.handle.is_valid
+    assert recovered.ok
 
 
 def test_direct_send_between_partitioned_nodes_raises(desktop_deployment):
@@ -115,29 +116,34 @@ def test_mvcc_contention_many_writers_single_key(desktop_deployment):
     """Ten updates of one key submitted concurrently: exactly one per block
     window wins; the rest are MVCC-invalidated, and history only contains the
     winners (Fabric semantics)."""
-    client = desktop_deployment.client
+    store = desktop_deployment.client.as_store()
     posts = [
-        client.post(key="hot-key", checksum=checksum_of(f"v{i}".encode()), location="loc")
+        store.submit(
+            StoreRequest(key="hot-key", checksum=checksum_of(f"v{i}".encode()), location="loc")
+        )
         for i in range(10)
     ]
     desktop_deployment.drain()
-    valid = [p for p in posts if p.handle.is_valid]
-    invalid = [p for p in posts if not p.handle.is_valid]
+    valid = [p for p in posts if p.ok]
+    invalid = [p for p in posts if not p.ok]
     assert len(valid) >= 1
     assert len(invalid) >= 1
     assert all(
         p.handle.validation_code is TxValidationCode.MVCC_READ_CONFLICT for p in invalid
     )
-    history = client.get_key_history("hot-key").payload
+    history = store.history("hot-key")
     assert len(history) == len(valid)
 
 
 def test_provenance_graph_rebuilt_from_chain_matches_submissions(rpi_deployment):
     client = rpi_deployment.client
-    client.store_data("iot/raw-1", b"r1")
-    client.store_data("iot/raw-2", b"r2")
+    store = client.as_store()
+    store.submit(StoreRequest(key="iot/raw-1", data=b"r1"))
+    store.submit(StoreRequest(key="iot/raw-2", data=b"r2"))
     rpi_deployment.drain()
-    client.store_data("iot/combined", b"c", dependencies=["iot/raw-1", "iot/raw-2"])
+    store.submit(
+        StoreRequest(key="iot/combined", data=b"c", dependencies=("iot/raw-1", "iot/raw-2"))
+    )
     rpi_deployment.drain()
 
     graph = client.build_provenance_graph()
@@ -151,10 +157,13 @@ def test_rpi_and_desktop_agree_on_semantics_but_not_speed():
     desktop = build_desktop_deployment(seed=21)
     rpi = build_rpi_deployment(seed=21)
     payload = b"cross-platform item"
-    desktop_post = desktop.client.store_data("x", payload)
-    rpi_post = rpi.client.store_data("x", payload)
+    desktop_post = desktop.client.as_store().submit(StoreRequest(key="x", data=payload))
+    rpi_post = rpi.client.as_store().submit(StoreRequest(key="x", data=payload))
     desktop.drain()
     rpi.drain()
     assert desktop_post.record.checksum == rpi_post.record.checksum
-    assert desktop.client.get("x").payload.checksum == rpi.client.get("x").payload.checksum
+    assert (
+        desktop.client.as_store().get("x").checksum
+        == rpi.client.as_store().get("x").checksum
+    )
     assert rpi_post.handle.latency_s > desktop_post.handle.latency_s

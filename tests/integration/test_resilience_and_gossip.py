@@ -3,6 +3,7 @@ failover, peer catch-up, and resource accounting across the flow."""
 
 import pytest
 
+from repro.api.protocol import StoreRequest
 from repro.bench.resource_usage import run_resource_usage
 from repro.common.hashing import checksum_of
 from repro.consensus.batching import BatchConfig
@@ -21,9 +22,9 @@ def test_gossip_dissemination_end_to_end():
     """With org-leader gossip enabled the flow still commits on every peer."""
     deployment = build_desktop_deployment(seed=13)
     deployment.fabric.config.use_gossip = True
-    post = deployment.client.store_data("gossip/1", b"x")
+    post = deployment.client.as_store().submit(StoreRequest(key="gossip/1", data=b"x"))
     deployment.drain()
-    assert post.handle.is_valid
+    assert post.ok
     assert set(deployment.fabric.ledger_heights().values()) == {1}
 
 
@@ -41,9 +42,9 @@ def test_multiple_peers_per_org_share_a_gossip_leader():
     )
     deployment = build_deployment(spec)
     deployment.fabric.config.use_gossip = True
-    post = deployment.client.store_data("g/1", b"x")
+    post = deployment.client.as_store().submit(StoreRequest(key="g/1", data=b"x"))
     deployment.drain()
-    assert post.handle.is_valid
+    assert post.ok
     assert set(deployment.fabric.ledger_heights().values()) == {1}
 
 
@@ -52,7 +53,7 @@ def test_peer_catches_up_after_missing_multiple_blocks():
     deployment = build_desktop_deployment(
         batch_config=BatchConfig(max_message_count=1), seed=17
     )
-    client = deployment.client
+    store = deployment.client.as_store()
     client_host = deployment.fabric.client_context("hyperprov-client").host_node
     lagging = deployment.peers[3].name
     connected = sorted(
@@ -61,7 +62,7 @@ def test_peer_catches_up_after_missing_multiple_blocks():
     deployment.network.partitions.partition([connected, [lagging]])
 
     for index in range(3):
-        client.store_data(f"catchup/{index}", f"v{index}".encode())
+        store.submit(StoreRequest(key=f"catchup/{index}", data=f"v{index}".encode()))
         deployment.drain()
 
     heights = deployment.fabric.ledger_heights()
@@ -69,7 +70,7 @@ def test_peer_catches_up_after_missing_multiple_blocks():
     assert max(heights.values()) == 3
 
     deployment.network.partitions.heal()
-    client.store_data("catchup/after-heal", b"x")
+    store.submit(StoreRequest(key="catchup/after-heal", data=b"x"))
     deployment.drain()
     heights = deployment.fabric.ledger_heights()
     assert len(set(heights.values())) == 1
@@ -101,9 +102,9 @@ def test_raft_leader_failover_elects_new_leader():
 
     # Ordering keeps working through the new leader once the old one is cut off.
     deployment.network.partitions.heal()
-    post = deployment.client.store_data("raft/failover", b"x")
+    post = deployment.client.as_store().submit(StoreRequest(key="raft/failover", data=b"x"))
     deployment.drain()
-    assert post.handle.is_valid
+    assert post.ok
 
 
 def test_raft_minority_partition_cannot_commit():
@@ -132,7 +133,9 @@ def test_raft_minority_partition_cannot_commit():
 # ------------------------------------------------------------------ accounting
 def test_network_accounts_bytes_for_protocol_transfers(desktop_deployment):
     client_host = desktop_deployment.fabric.client_context("hyperprov-client").host_node
-    desktop_deployment.client.store_data("acct/1", b"x" * 100_000)
+    desktop_deployment.client.as_store().submit(
+        StoreRequest(key="acct/1", data=b"x" * 100_000)
+    )
     desktop_deployment.drain()
     assert desktop_deployment.network.bytes_sent_by(client_host) > 100_000
     assert desktop_deployment.network.bytes_sent_by("orderer") > 0

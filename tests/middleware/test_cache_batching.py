@@ -6,6 +6,7 @@ real commit events (chaincode event + block delivery) rather than mocks.
 
 import pytest
 
+from repro.api.protocol import StoreRequest
 from repro.common.events import EventBus
 from repro.common.metrics import MetricsRegistry
 from repro.core.topology import build_desktop_deployment
@@ -104,44 +105,47 @@ class TestReadCacheEndToEnd:
         client = deployment.client
         client.configure_pipeline(PipelineConfig(cache=True))
 
-        client.store_data("hot/key", b"v1")
+        store = client.as_store()
+        store.submit(StoreRequest(key="hot/key", data=b"v1"))
         deployment.drain()
 
-        first = client.get("hot/key")
-        second = client.get("hot/key")
+        first = store.get("hot/key")
+        second = store.get("hot/key")
         assert client.metrics.get_counter("cache.misses").value == 1
         assert client.metrics.get_counter("cache.hits").value == 1
         # The cached read is answered locally, not via a peer round trip.
         assert second.latency_s < first.latency_s
-        assert second.payload.checksum == first.payload.checksum
+        assert second.checksum == first.checksum
 
         # A new committed version must invalidate the entry...
-        client.store_data("hot/key", b"v2")
+        store.submit(StoreRequest(key="hot/key", data=b"v2"))
         deployment.drain()
-        refreshed = client.get("hot/key")
+        refreshed = store.get("hot/key")
         # ... so the read goes back to the peer and sees the new checksum.
         assert client.metrics.get_counter("cache.misses").value == 2
-        assert refreshed.payload.checksum != first.payload.checksum
+        assert refreshed.checksum != first.checksum
 
     def test_cache_disabled_config_reproduces_uncached_latency(self):
         deployment = build_desktop_deployment(seed=42)
-        client = deployment.client  # default config: cache off
-        client.store_data("cold/key", b"v1")
+        store = deployment.client.as_store()  # default config: cache off
+        store.submit(StoreRequest(key="cold/key", data=b"v1"))
         deployment.drain()
-        first = client.get("cold/key")
-        second = client.get("cold/key")
+        first = store.get("cold/key")
+        second = store.get("cold/key")
         # Without the cache both reads pay a real peer round trip.
         assert second.latency_s > first.latency_s * 0.1
-        assert client.metrics.get_counter("cache.hits") is None
+        assert deployment.client.metrics.get_counter("cache.hits") is None
 
 
 def post_inline(client, key):
     """Submit a metadata-only post at the current virtual time (no storage).
 
-    ``post`` with the default ``at_time`` runs the invoke synchronously, so
+    A submit with the default ``at_time`` runs the invoke synchronously, so
     the endorsement batcher's queue growth is deterministic in the test.
     """
-    return client.post(key=key, checksum="ab" * 32, location=f"file://{key}").handle
+    return client.as_store().submit(
+        StoreRequest(key=key, checksum="ab" * 32, location=f"file://{key}")
+    ).handle
 
 
 class TestEndorsementBatcher:
@@ -177,7 +181,9 @@ class TestEndorsementBatcher:
         plain = build_desktop_deployment(seed=42)
         for deployment in (batched, plain):
             for i in range(8):
-                deployment.client.store_data(f"eq/{i}", f"x{i}".encode())
+                deployment.client.as_store().submit(
+                    StoreRequest(key=f"eq/{i}", data=f"x{i}".encode())
+                )
             deployment.drain()
         for i in range(8):
             key = f"eq/{i}"
@@ -188,7 +194,7 @@ class TestEndorsementBatcher:
 
     def test_batch_size_one_is_passthrough(self):
         deployment = build_desktop_deployment(seed=42)
-        deployment.client.store_data("solo/0", b"x")
+        deployment.client.as_store().submit(StoreRequest(key="solo/0", data=b"x"))
         assert deployment.fabric.order_batcher.queued == 0
         deployment.drain()
         flushes = deployment.fabric.metrics.get_counter("batcher.flushes")

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api.protocol import StoreRequest
 from repro.baselines.centraldb import CentralProvenanceDatabase
 from repro.baselines.provchain import PowProvenanceChain
 from repro.chaincode.records import ProvenanceRecord
@@ -26,11 +27,12 @@ def make_record(key="k", checksum="0" * 64):
 class TestClientPipeline:
     def test_every_operator_flows_through_the_pipeline(self, desktop_deployment):
         client = desktop_deployment.client
-        client.store_data("ops/a", b"a")
+        store = client.as_store()
+        store.submit(StoreRequest(key="ops/a", data=b"a"))
         desktop_deployment.drain()
-        client.get("ops/a")
-        client.get_key_history("ops/a")
-        client.check_hash("ops/a", b"a")
+        store.get("ops/a")
+        store.history("ops/a")
+        store.verify("ops/a", b"a")
         client.get_dependencies("ops/a")
         client.query_records({"creator": "hyperprov-client"})
         client.get_by_range("ops/", "ops/~")
@@ -46,7 +48,7 @@ class TestClientPipeline:
 
     def test_stage_breakdown_recorded_for_writes(self, desktop_deployment):
         client = desktop_deployment.client
-        client.store_data("stage/a", b"a")
+        client.as_store().submit(StoreRequest(key="stage/a", data=b"a"))
         desktop_deployment.drain()
         endorse = client.metrics.get_histogram(STAGE_ENDORSE)
         order = client.metrics.get_histogram(STAGE_ORDER)
@@ -65,9 +67,10 @@ class TestClientPipeline:
         desktop_deployment.fabric.events.subscribe(
             "pipeline.request", lambda t, p: seen.append(p["request_id"])
         )
-        client.store_data("trace/a", b"a")
+        store = client.as_store()
+        store.submit(StoreRequest(key="trace/a", data=b"a"))
         desktop_deployment.drain()
-        client.get("trace/a")
+        store.get("trace/a")
         assert len(seen) == 2
         assert len(set(seen)) == 2
 
@@ -86,9 +89,12 @@ class TestBaselinePipelines:
     def test_centraldb_operations_flow_through_pipeline(self):
         device = DeviceModel("srv", XEON_E5_1603, rng=DeterministicRandom(7))
         db = CentralProvenanceDatabase(device, pipeline_config=PipelineConfig(cache=True))
-        db.store_record(make_record("a"))
-        assert db.get("a").key == "a"
-        assert db.get("a").key == "a"  # served from cache
+        store = db.as_store()
+        record = make_record("a")
+        store.submit(StoreRequest(key=record.key, checksum=record.checksum,
+                                  location=record.location, creator=record.creator))
+        assert store.get("a").key == "a"
+        assert store.get("a").key == "a"  # served from cache
         assert db.metrics.get_counter("cache.hits").value == 1
         assert db.metrics.get_counter("ops.store_record").value == 1
         assert db.metrics.get_counter("ops.get").value == 2
@@ -96,31 +102,37 @@ class TestBaselinePipelines:
     def test_centraldb_store_invalidates_cache(self):
         device = DeviceModel("srv", XEON_E5_1603, rng=DeterministicRandom(7))
         db = CentralProvenanceDatabase(device, pipeline_config=PipelineConfig(cache=True))
-        db.store_record(make_record("a", checksum="1" * 64))
-        assert db.get("a").checksum == "1" * 64
-        db.store_record(make_record("a", checksum="2" * 64))
-        assert db.get("a").checksum == "2" * 64  # not the stale cached version
+        store = db.as_store()
+        store.submit(StoreRequest(key="a", checksum="1" * 64, location="db://x/a"))
+        assert store.get("a").checksum == "1" * 64
+        store.submit(StoreRequest(key="a", checksum="2" * 64, location="db://x/a"))
+        assert store.get("a").checksum == "2" * 64  # not the stale cached version
 
     def test_provchain_operations_flow_through_pipeline(self):
         device = DeviceModel("miner", XEON_E5_1603, rng=DeterministicRandom(9))
         chain = PowProvenanceChain(
             device, difficulty_bits=8, pipeline_config=PipelineConfig(cache=True)
         )
-        chain.store_record(make_record("a", checksum="1" * 64))
-        entry = chain.get("a")
-        assert entry.record.key == "a"
-        assert chain.get("a") is entry  # cache hit returns the same entry
-        chain.store_record(make_record("a", checksum="2" * 64))
-        assert chain.get("a").record.checksum == "2" * 64
+        store = chain.as_store()
+        store.submit(StoreRequest(key="a", checksum="1" * 64, location="pow://a"))
+        view = store.get("a")
+        assert view.key == "a"
+        # The cache hit below the adapter returns the same backend record.
+        assert store.get("a").record is view.record
+        store.submit(StoreRequest(key="a", checksum="2" * 64, location="pow://a"))
+        assert store.get("a").checksum == "2" * 64
         assert chain.metrics.get_counter("ops.store_record").value == 2
         assert chain.verify_chain()
 
     def test_default_pipeline_preserves_legacy_behaviour(self):
+        """The deprecated blocking surface still works (and warns)."""
         device = DeviceModel("srv", XEON_E5_1603, rng=DeterministicRandom(7))
         db = CentralProvenanceDatabase(device)
-        result = db.store_record(make_record("a"))
+        with pytest.warns(DeprecationWarning):
+            result = db.store_record(make_record("a"))
         assert result.latency_s > 0
         assert db.record_count == 1
         tampered = db.tamper("a", "f" * 64)
-        assert db.get("a").checksum == tampered.checksum
+        with pytest.warns(DeprecationWarning):
+            assert db.get("a").checksum == tampered.checksum
         assert db.detect_tampering() == []

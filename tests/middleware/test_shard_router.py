@@ -1,0 +1,170 @@
+"""Unit tests for consistent-hash shard routing and fan-out merging."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.fabric.proposal import ProposalResponse
+from repro.ledger.transaction import ReadWriteSet
+from repro.middleware.base import TransactionPipeline
+from repro.middleware.context import Context, OperationKind
+from repro.middleware.sharding import (
+    ConsistentHashRing,
+    ShardRouterMiddleware,
+    routing_key,
+)
+
+
+def ctx_for(function, args, kind=OperationKind.READ):
+    return Context(
+        operation=function, kind=kind, chaincode="hyperprov",
+        function=function, args=list(args),
+    )
+
+
+def response_with(payload):
+    # A present endorsement marks the response ok (is_ok semantics); a
+    # shard missing the key answers with none, like a failed endorsement.
+    endorsement = object() if payload is not None else None
+    status = 200 if payload is not None else 500
+    return ProposalResponse(
+        tx_id="t", peer="p", status=status, payload=payload, message="",
+        rw_set=ReadWriteSet(), endorsement=endorsement, produced_at=0.0,
+    )
+
+
+# ------------------------------------------------------------------- ring
+def test_ring_is_deterministic_and_total():
+    a, b = ConsistentHashRing(4), ConsistentHashRing(4)
+    for i in range(100):
+        key = f"k/{i}"
+        shard = a.route(key)
+        assert shard == b.route(key)
+        assert 0 <= shard < 4
+
+
+def test_ring_spreads_keys_over_every_shard():
+    ring = ConsistentHashRing(4)
+    owners = {ring.route(f"bench/{i:05d}") for i in range(200)}
+    assert owners == {0, 1, 2, 3}
+
+
+def test_ring_growth_remaps_only_part_of_the_keyspace():
+    small, large = ConsistentHashRing(2), ConsistentHashRing(4)
+    keys = [f"k/{i}" for i in range(400)]
+    moved = sum(1 for key in keys if small.route(key) != large.route(key))
+    # Consistent hashing: roughly half the keys move 2 → 4, never all.
+    assert 0 < moved < len(keys)
+
+
+def test_ring_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        ConsistentHashRing(0)
+    with pytest.raises(ConfigurationError):
+        ConsistentHashRing(2, virtual_nodes=0)
+
+
+# ----------------------------------------------------------- tenant routing
+def test_routing_key_collapses_tenant_namespace():
+    assert routing_key("tenant/acme/a/b") == "tenant/acme"
+    assert routing_key("tenant/acme/zzz") == "tenant/acme"
+    assert routing_key("plain/key") == "plain/key"
+
+
+def test_tenant_keys_co_locate_on_one_shard():
+    ring = ConsistentHashRing(4)
+    shards = {ring.route(f"tenant/acme/item-{i}") for i in range(50)}
+    assert len(shards) == 1
+
+
+# ----------------------------------------------------------- single routing
+def test_router_tags_writes_with_owning_shard():
+    router = ShardRouterMiddleware(shards=4)
+    seen = []
+    pipeline = TransactionPipeline(
+        [router], terminal=lambda ctx: seen.append(ctx.tags["shard"]) or "handle"
+    )
+    pipeline.execute(ctx_for("set", ["k/1", "cs", "loc"], kind=OperationKind.WRITE))
+    pipeline.execute(ctx_for("get", ["k/1"]))
+    assert seen[0] == seen[1]  # reads follow their key's writes
+
+
+# ----------------------------------------------------------------- fan-out
+def fan_out_pipeline(router, payload_by_shard):
+    def terminal(ctx):
+        shard = ctx.tags["shard"]
+        payload = payload_by_shard.get(shard)
+        if payload is None:
+            return (response_with(None), 0.0)
+        return (response_with(payload), 0.1 * (shard + 1))
+
+    return TransactionPipeline([router], terminal)
+
+
+def test_range_fan_out_merges_rows_in_key_order():
+    router = ShardRouterMiddleware(shards=2)
+    rows0 = [{"key": "b", "record": json.dumps({"timestamp": 1.0})}]
+    rows1 = [{"key": "a", "record": json.dumps({"timestamp": 2.0})}]
+    pipeline = fan_out_pipeline(
+        router, {0: json.dumps(rows0), 1: json.dumps(rows1)}
+    )
+    response, latency = pipeline.execute(ctx_for("getbyrange", ["", "~"]))
+    merged = json.loads(response.payload)
+    assert [row["key"] for row in merged] == ["a", "b"]
+    # Fan-out latency is the slowest shard's, not the sum.
+    assert latency == pytest.approx(0.2)
+
+
+def test_fan_out_dedupes_duplicate_keys_keeping_newest():
+    router = ShardRouterMiddleware(shards=2)
+    old = [{"key": "k", "record": json.dumps({"timestamp": 1.0, "v": "old"})}]
+    new = [{"key": "k", "record": json.dumps({"timestamp": 9.0, "v": "new"})}]
+    pipeline = fan_out_pipeline(router, {0: json.dumps(old), 1: json.dumps(new)})
+    response, _ = pipeline.execute(ctx_for("getbyrange", ["", "~"]))
+    merged = json.loads(response.payload)
+    assert len(merged) == 1
+    assert json.loads(merged[0]["record"])["v"] == "new"
+
+
+def test_history_fan_out_orders_by_commit_timestamp():
+    router = ShardRouterMiddleware(shards=2)
+    shard0 = [
+        {"tx_id": "t2", "block": 0, "timestamp": 5.0, "is_delete": False, "value": "v2"}
+    ]
+    shard1 = [
+        {"tx_id": "t1", "block": 7, "timestamp": 1.0, "is_delete": False, "value": "v1"}
+    ]
+    pipeline = fan_out_pipeline(
+        router, {0: json.dumps(shard0), 1: json.dumps(shard1)}
+    )
+    response, _ = pipeline.execute(ctx_for("getkeyhistory", ["k"]))
+    merged = json.loads(response.payload)
+    # Ordered by timestamp, not by per-shard block numbers.
+    assert [entry["tx_id"] for entry in merged] == ["t1", "t2"]
+
+
+def test_fan_out_tolerates_missing_shards():
+    router = ShardRouterMiddleware(shards=2)
+    rows = [{"key": "a", "record": json.dumps({"timestamp": 1.0})}]
+    pipeline = fan_out_pipeline(router, {1: json.dumps(rows)})  # shard 0 misses
+    response, _ = pipeline.execute(ctx_for("getbyrange", ["", "~"]))
+    assert [row["key"] for row in json.loads(response.payload)] == ["a"]
+
+
+def test_fan_out_with_no_hits_returns_first_error():
+    router = ShardRouterMiddleware(shards=2)
+    pipeline = fan_out_pipeline(router, {})
+    response, _ = pipeline.execute(ctx_for("getkeyhistory", ["ghost"]))
+    assert response.payload is None
+
+
+def test_single_shard_router_never_fans_out():
+    router = ShardRouterMiddleware(shards=1)
+    calls = []
+    pipeline = TransactionPipeline(
+        [router],
+        terminal=lambda ctx: calls.append(ctx.tags["shard"]) or (response_with("[]"), 0.1),
+    )
+    pipeline.execute(ctx_for("getbyrange", ["", "~"]))
+    assert calls == [0]
