@@ -39,9 +39,13 @@ def hyperprov_scenario() -> None:
     store.store(StoreRequest(key="audit/batch-42", data=ORIGINAL))
 
     # A compromised peer rewrites the record inside its local block store.
+    # Committed envelopes are sealed and structurally shared across peers,
+    # so the rewrite goes through the peer's copy-on-write tamper hook —
+    # only the victim's own ledger copy diverges.
     victim = deployment.peers[0]
     block = victim.block_store.block(0)
-    tx = next(t for t in block.transactions if t.function == "set")
+    position = next(i for i, t in enumerate(block.transactions) if t.function == "set")
+    tx = victim.tamper(0, position)
     tx.args[1] = checksum_of(FORGED)
 
     print(f"  tampered peer chain verifies : {victim.block_store.verify_chain()}")

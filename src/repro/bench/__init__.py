@@ -15,6 +15,7 @@ Module           Reproduces
 ``ablation_cache``   Read-cache middleware on/off (repeated-get latency)
 ``ablation_concurrency``  In-flight submission depth sweep (futures API)
 ``ablation_sharding``  Channel shards vs throughput + tenant fair-sharing
+``perf``             Wall-clock simulated-tx/s of the hot paths (BENCH_PERF.json)
 ===============  ==========================================================
 
 Run ``python -m repro.bench <experiment>`` or use the pytest-benchmark
@@ -37,6 +38,7 @@ from repro.bench.ablation_sharding import (
     run_fairness_comparison,
     run_sharding_ablation,
 )
+from repro.bench.perf import run_perf
 from repro.bench.resource_usage import run_resource_usage
 
 __all__ = [
@@ -58,5 +60,6 @@ __all__ = [
     "run_fastfabric_ablation",
     "run_sharding_ablation",
     "run_fairness_comparison",
+    "run_perf",
     "run_resource_usage",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.bench import (
@@ -18,9 +19,11 @@ from repro.bench import (
     run_fig2,
     run_fig3,
     run_ops_table,
+    run_perf,
     run_resource_usage,
     run_sharding_ablation,
 )
+from repro.bench.perf import PerfRegressionError, check_regression_data, write_report
 from repro.bench.ops_table import stage_table as ops_stage_table
 from repro.bench.ops_table import to_table as ops_to_table
 from repro.consensus.scheduler import SCHEDULER_NAMES
@@ -153,6 +156,57 @@ def _run_sharding(args: argparse.Namespace) -> str:
     return "\n\n".join([ablation.to_table().render(), fairness.to_table().render()])
 
 
+def _run_perf(args: argparse.Namespace) -> str:
+    import json
+
+    # Load the baseline BEFORE writing the report: with the default
+    # --perf-output, baseline and output may be the same file, and reading
+    # it back after the write would compare the run against itself.
+    baseline_data = None
+    if args.perf_baseline:
+        baseline = Path(args.perf_baseline)
+        try:
+            baseline_data = json.loads(baseline.read_text())
+        except (OSError, ValueError) as exc:
+            # A missing or corrupt baseline must fail the gate cleanly —
+            # silently skipping it would let regressions through CI.
+            raise PerfRegressionError(
+                f"perf baseline {baseline} is unreadable: {exc!r}"
+            ) from exc
+
+    report = run_perf(
+        commit_requests=args.perf_requests,
+        keys=args.perf_keys,
+        queries=args.perf_queries,
+        repeats=args.perf_repeats,
+    )
+    output = Path(args.perf_output)
+    write_report(report, output)
+    table = report.to_table()
+    table.add_note(f"written to {output}")
+    rendered = table.render()
+    if baseline_data is not None:
+        try:
+            failures = check_regression_data(
+                report, baseline_data, tolerance=args.perf_tolerance
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            # Structurally invalid baseline rows fail the gate too.
+            raise PerfRegressionError(
+                f"perf baseline {args.perf_baseline} is unreadable: {exc!r}"
+            ) from exc
+        if failures:
+            raise PerfRegressionError(
+                "wall-clock perf regression vs "
+                f"{args.perf_baseline}:\n" + "\n".join(f"  - {f}" for f in failures)
+            )
+        rendered += (
+            f"\nperf gate: no regression vs {args.perf_baseline} "
+            f"(tolerance {args.perf_tolerance}x)"
+        )
+    return rendered
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -165,6 +219,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "ablation-consensus": _run_consensus,
     "ablation-fastfabric": _run_fastfabric,
     "ablation-sharding": _run_sharding,
+    "perf": _run_perf,
     "resources": _run_resources,
 }
 
@@ -226,6 +281,43 @@ def build_parser() -> argparse.ArgumentParser:
              "(the tenant-isolation table always compares fifo vs "
              "fair-share; default: fifo)",
     )
+    perf = parser.add_argument_group(
+        "perf", "wall-clock measurement configuration for the perf experiment"
+    )
+    perf.add_argument(
+        "--perf-requests", type=_positive_int, default=240,
+        help="metadata-post requests in the commit-heavy workload's full "
+             "scale (default: 240; a 1/4 scale always runs first)",
+    )
+    perf.add_argument(
+        "--perf-keys", type=_positive_int, default=10_000,
+        help="preloaded world-state keys for the range/rich-query workloads "
+             "(default: 10000; a 1/10 scale always runs first)",
+    )
+    perf.add_argument(
+        "--perf-queries", type=_positive_int, default=60,
+        help="queries issued per read workload and scale (default: 60)",
+    )
+    perf.add_argument(
+        "--perf-repeats", type=_positive_int, default=2,
+        help="measurement passes per workload; the fastest is reported "
+             "(min-over-repeats damps scheduling noise; default: 2)",
+    )
+    perf.add_argument(
+        "--perf-output", default="BENCH_PERF.json",
+        help="where to write the perf report (default: BENCH_PERF.json)",
+    )
+    perf.add_argument(
+        "--perf-baseline", default=None,
+        help="committed baseline JSON to gate against; the run fails when "
+             "wall-clock throughput regresses more than --perf-tolerance "
+             "below it (default: no gate)",
+    )
+    perf.add_argument(
+        "--perf-tolerance", type=float, default=3.0,
+        help="allowed slowdown factor vs the baseline before the perf gate "
+             "fails (default: 3.0)",
+    )
     return parser
 
 
@@ -236,7 +328,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     selected = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     outputs = []
     for name in selected:
-        outputs.append(EXPERIMENTS[name](args))
+        try:
+            outputs.append(EXPERIMENTS[name](args))
+        except PerfRegressionError as exc:
+            print("\n\n".join(outputs + [str(exc)]))
+            return 1
     print("\n\n".join(outputs))
     return 0
 

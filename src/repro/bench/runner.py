@@ -177,17 +177,21 @@ class StoreDataRunner:
             if state["issued"] >= config.request_count:
                 return
             state["issued"] += 1
-            item = next(items)
             submitted_at = engine.now
             if config.metadata_only:
+                # Metadata-only posts never touch payload bytes; take just
+                # the next key so the driver does not generate (and then
+                # discard) the payload on the measured wall-clock path.
+                key = generator.next_key()
                 handle = session.submit(
-                    item.key,
-                    checksum=checksum_of(item.key.encode("utf-8")),
-                    location=f"ext://{item.key}",
+                    key,
+                    checksum=checksum_of(key.encode("utf-8")),
+                    location=f"ext://{key}",
                     size_bytes=config.data_size_bytes,
                     metadata={"bench": True, "size": config.data_size_bytes},
                 )
             else:
+                item = next(items)
                 handle = session.submit(
                     item.key,
                     item.data,

@@ -92,10 +92,21 @@ class ChaincodeStub:
     def get_state_by_range(self, start_key: str, end_key: str) -> List[Tuple[str, str]]:
         """Committed key range query (``end_key`` empty = to the end)."""
         self.state_operations += 1
-        results = self.world_state.range_query(start_key, end_key)
-        for key, _value in results:
-            self.rw_set.add_read(key, self.world_state.get_version(key))
-        return results
+        entries = self.world_state.range_query_versioned(start_key, end_key)
+        self.rw_set.extend_reads([(key, entry.version) for key, entry in entries])
+        return [(key, entry.value) for key, entry in entries]
+
+    def get_state_by_prefix(self, prefix: str) -> List[Tuple[str, str]]:
+        """Committed keys starting with ``prefix`` (composite-key lookups).
+
+        Served from the world state's prefix index, so a prefix-scoped
+        rich query only reads its candidate keys instead of the whole key
+        space.
+        """
+        self.state_operations += 1
+        entries = self.world_state.query_by_prefix_versioned(prefix)
+        self.rw_set.extend_reads([(key, entry.version) for key, entry in entries])
+        return [(key, entry.value) for key, entry in entries]
 
     def get_history_for_key(self, key: str) -> List[HistoryEntry]:
         """Every committed modification of ``key``, oldest first."""

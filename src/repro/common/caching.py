@@ -1,0 +1,27 @@
+"""Small caching primitives shared by the hot-path memos."""
+
+from __future__ import annotations
+
+
+class BoundedMemo(dict):
+    """A dict memo with a size cap, cleared wholesale when full.
+
+    The hot-path memos (signature verification, rw-set digests, parsed
+    records) want O(1) amortized inserts with a hard memory bound and no
+    per-hit bookkeeping; dropping everything on overflow is cheaper than
+    LRU and the caches re-warm in one pass.  Not thread-safe — the
+    simulation is single-threaded by design.
+    """
+
+    __slots__ = ("cap",)
+
+    def __init__(self, cap: int) -> None:
+        super().__init__()
+        if cap < 1:
+            raise ValueError("BoundedMemo cap must be >= 1")
+        self.cap = cap
+
+    def __setitem__(self, key, value) -> None:
+        if len(self) >= self.cap and key not in self:
+            self.clear()
+        super().__setitem__(key, value)

@@ -32,6 +32,14 @@ class EndorsementError(HyperProvError):
     """A transaction proposal failed to gather the required endorsements."""
 
 
+class SealedEnvelopeError(HyperProvError):
+    """A sealed transaction envelope was mutated through the rw-set API.
+
+    Sealed envelopes are structurally shared between the orderer and every
+    peer; mutate a private copy obtained via ``Transaction.tamper()`` (or
+    ``Block.tamper``) instead."""
+
+
 class OrderingError(HyperProvError):
     """The ordering service rejected or failed to order a transaction."""
 

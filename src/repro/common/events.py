@@ -7,7 +7,6 @@ this bus so that benchmark harnesses can observe commits without polling.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List
 
@@ -41,7 +40,10 @@ class EventBus:
     """
 
     def __init__(self) -> None:
-        self._handlers: Dict[str, List[Subscription]] = defaultdict(list)
+        # Plain dict, and topics are dropped as soon as their handler list
+        # empties: per-transaction topics (``tx_committed:{tx_id}``) would
+        # otherwise accumulate one empty list per transaction forever.
+        self._handlers: Dict[str, List[Subscription]] = {}
         self._published: int = 0
 
     @property
@@ -49,24 +51,38 @@ class EventBus:
         """Total number of events published on this bus."""
         return self._published
 
+    @property
+    def topic_count(self) -> int:
+        """Number of topics currently holding at least one subscription."""
+        return len(self._handlers)
+
     def subscribe(self, topic: str, handler: EventHandler) -> Subscription:
         """Register ``handler`` for ``topic`` and return a cancellable handle."""
         subscription = Subscription(topic=topic, handler=handler, bus=self)
-        self._handlers[topic].append(subscription)
+        self._handlers.setdefault(topic, []).append(subscription)
         return subscription
 
     def unsubscribe(self, subscription: Subscription) -> None:
         """Remove a previously registered subscription (idempotent)."""
-        handlers = self._handlers.get(subscription.topic, [])
+        handlers = self._handlers.get(subscription.topic)
+        if not handlers:
+            return
         if subscription in handlers:
             handlers.remove(subscription)
+        if not handlers:
+            del self._handlers[subscription.topic]
 
     def publish(self, topic: str, payload: Any = None) -> int:
         """Publish ``payload`` on ``topic``; returns number of handlers invoked."""
         self._published += 1
+        handlers = self._handlers.get(topic)
+        if not handlers:
+            # Fast path: most per-transaction topics have no subscriber on
+            # 3 of the 4 peers publishing them.
+            return 0
         errors: List[Exception] = []
         delivered = 0
-        for subscription in list(self._handlers.get(topic, [])):
+        for subscription in list(handlers):
             if not subscription.active:
                 continue
             try:
@@ -74,6 +90,11 @@ class EventBus:
                 delivered += 1
             except Exception as exc:  # noqa: BLE001 - re-raised below
                 errors.append(exc)
+        # Handlers may have cancelled subscriptions (including their own)
+        # while running; drop the topic once its list has emptied.
+        remaining = self._handlers.get(topic)
+        if remaining is not None and not remaining:
+            del self._handlers[topic]
         if errors:
             raise errors[0]
         return delivered

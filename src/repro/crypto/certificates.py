@@ -57,10 +57,33 @@ class Certificate:
 
     @property
     def fingerprint(self) -> str:
-        """Stable short identifier for the certificate."""
-        from repro.common.hashing import sha256_hex
+        """Stable short identifier for the certificate.
 
-        return sha256_hex(self.tbs_bytes())[:16]
+        Computed once per certificate object — the chaincode reads the
+        creator fingerprint on every endorsement, and the certificate is
+        frozen, so the canonical serialization cannot change under it.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            from repro.common.hashing import sha256_hex
+
+            cached = sha256_hex(self.tbs_bytes())[:16]
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    def __hash__(self) -> int:
+        # Same field tuple the generated __hash__ would use, but memoized:
+        # MSP validation hashes the endorser certificate once per
+        # endorsement per validating peer, and the 7-field tuple hash over
+        # long strings is measurable on that path.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((
+                self.subject, self.organization, self.public_key,
+                self.issuer, self.serial, self.signature, self.role,
+            ))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 class CertificateAuthority:
@@ -73,6 +96,8 @@ class CertificateAuthority:
         self._serial = 0
         self._issued: Dict[str, Certificate] = {}
         self._revoked: Set[int] = set()
+        #: Memoized signature-binding results (see :meth:`validate`).
+        self._signature_ok: Dict[Certificate, bool] = {}
 
     @property
     def public_key(self) -> str:
@@ -123,19 +148,31 @@ class CertificateAuthority:
         return certificate.serial in self._revoked
 
     def validate(self, certificate: Certificate) -> bool:
-        """Check issuer, signature binding, and revocation status."""
+        """Check issuer, signature binding, and revocation status.
+
+        The signature-binding check is memoized per certificate object
+        value (certificates are frozen dataclasses, so the cache key
+        covers every field): validating the same endorser certificate once
+        per peer per block would otherwise redo the same HMAC millions of
+        times.  Revocation is deliberately *not* cached — revoking takes
+        effect on the next validation.
+        """
         if certificate.issuer != self.name:
             return False
         if certificate.organization != self.organization:
             return False
         if self.is_revoked(certificate):
             return False
-        return verify(
-            self.public_key,
-            certificate.tbs_bytes(),
-            certificate.signature,
-            private_hint=self._keys.private_key,
-        )
+        cached = self._signature_ok.get(certificate)
+        if cached is None:
+            cached = verify(
+                self.public_key,
+                certificate.tbs_bytes(),
+                certificate.signature,
+                private_hint=self._keys.private_key,
+            )
+            self._signature_ok[certificate] = cached
+        return cached
 
     def lookup(self, subject: str) -> Optional[Certificate]:
         """Return the certificate issued to ``subject``, if any."""

@@ -19,7 +19,9 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass, field
+from functools import lru_cache
 
+from repro.common.caching import BoundedMemo
 from repro.common.errors import CryptoError
 
 _PUBLIC_DERIVATION_TAG = b"hyperprov-public-key-v1"
@@ -33,8 +35,16 @@ _SIGNATURE_TAG = b"hyperprov-signature-v1"
 #: for real ECDSA — see the package docstring.)
 _KEY_REGISTRY: dict = {}
 
+#: Memoized verification outcomes keyed by (public_key, message, signature).
+#: ``verify`` is a pure function, but the same triple is re-checked by every
+#: endorsing peer (the client's proposal signature) — cache the HMAC result.
+_VERIFY_CACHE = BoundedMemo(16384)
 
+
+@lru_cache(maxsize=4096)
 def _derive_public(private_key: bytes) -> str:
+    # Pure derivation, re-run on every sign/verify for the same handful of
+    # keys — memoized (keys are 32-byte digests, the cache stays tiny).
     return hashlib.sha256(_PUBLIC_DERIVATION_TAG + private_key).hexdigest()
 
 
@@ -92,6 +102,10 @@ def verify(
     """
     if not isinstance(signature, str) or ":" not in signature:
         return False
+    cache_key = (public_key, bytes(message), signature)
+    cached = _VERIFY_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     embedded_public, mac_hex = signature.split(":", 1)
     if embedded_public != public_key:
         return False
@@ -105,4 +119,6 @@ def verify(
     expected = hmac.new(
         signing_key, _SIGNATURE_TAG + bytes(message), hashlib.sha256
     ).hexdigest()
-    return hmac.compare_digest(expected, mac_hex)
+    result = hmac.compare_digest(expected, mac_hex)
+    _VERIFY_CACHE[cache_key] = result
+    return result

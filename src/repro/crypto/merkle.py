@@ -25,6 +25,21 @@ class MerkleTree:
         self._levels: List[List[str]] = []
         self._build()
 
+    @classmethod
+    def from_leaf_hashes(cls, leaf_hashes: Sequence[str]) -> "MerkleTree":
+        """Build a tree from already-computed leaf hashes.
+
+        A leaf hash here is exactly ``sha256_hex(leaf)``, so a tree built
+        from ``Transaction.digest()`` values (cached on sealed envelopes)
+        has the same root as one built from the raw envelope bytes —
+        without re-hashing every envelope per peer per block.
+        """
+        tree = cls.__new__(cls)
+        tree._leaf_hashes = list(leaf_hashes)
+        tree._levels = []
+        tree._build()
+        return tree
+
     def _build(self) -> None:
         if not self._leaf_hashes:
             self._levels = [[self.EMPTY_ROOT]]

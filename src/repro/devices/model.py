@@ -9,17 +9,20 @@ the busy interval for energy accounting, and returns the duration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from repro.devices.profiles import HardwareProfile
 from repro.simulation.randomness import DeterministicRandom
 from repro.simulation.resources import SimResource, interval_overlap
 
 
-@dataclass(frozen=True)
-class BusyInterval:
-    """A span of virtual time during which a component was busy."""
+class BusyInterval(NamedTuple):
+    """A span of virtual time during which a component was busy.
+
+    A ``NamedTuple`` — every simulated charge appends one, so
+    construction cost is on the hot path (the energy meter reads them in
+    bulk afterwards).
+    """
 
     start: float
     end: float
@@ -57,6 +60,7 @@ class DeviceModel:
         self.cpu = SimResource(f"{name}.cpu", concurrency=profile.cores)
         self.disk = SimResource(f"{name}.disk", concurrency=1)
         self.nic = SimResource(f"{name}.nic", concurrency=1)
+        self._components = {"cpu": self.cpu, "disk": self.disk, "nic": self.nic}
         self._busy_intervals: List[BusyInterval] = []
 
     # ------------------------------------------------------------- durations
@@ -107,7 +111,7 @@ class DeviceModel:
         begin later than requested if the component was already busy
         (queueing on the single chaincode container, disk, etc.).
         """
-        resource = {"cpu": self.cpu, "disk": self.disk, "nic": self.nic}.get(component)
+        resource = self._components.get(component)
         if resource is None:
             raise ValueError(f"unknown device component {component!r}")
         if duration <= 0:

@@ -380,19 +380,13 @@ class FabricNetwork:
             timestamp=self.engine.now,
             size_bytes=0,
         )
-        signature = context.identity.sign(unsigned.signed_bytes())
-        size = len(unsigned.signed_bytes()) + 512 + payload_size_bytes
-        return Proposal(
-            tx_id=handle.tx_id,
-            channel=channel_name,
-            chaincode=chaincode,
-            function=function,
-            args=list(args),
-            creator=context.identity.certificate,
-            signature=signature,
-            timestamp=unsigned.timestamp,
-            size_bytes=size,
-        )
+        # The signed bytes do not cover the signature/size fields, so the
+        # proposal can be completed in place (no second construction, and
+        # the cached serialization carries over).
+        signed = unsigned.signed_bytes()
+        unsigned.signature = context.identity.sign(signed)
+        unsigned.size_bytes = len(signed) + 512 + payload_size_bytes
+        return unsigned
 
     def _run_invoke(
         self,

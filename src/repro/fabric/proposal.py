@@ -25,21 +25,48 @@ class Proposal:
     timestamp: float
     #: Approximate wire size of the proposal (args can embed large metadata).
     size_bytes: int = 0
+    _signed_bytes: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    #: Fields covered by the client's signature; rebinding one drops the
+    #: cached serialization so verification always sees current content.
+    _SIGNED_FIELDS = frozenset({"tx_id", "channel", "chaincode", "function", "args"})
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # Covers construction too (dataclass __init__ assigns through
+        # here): args is frozen to a tuple so in-place mutation cannot
+        # bypass the cached signed bytes, and rebinding any signed field
+        # drops the cache so verification always sees current content.
+        if name in self._SIGNED_FIELDS:
+            object.__setattr__(self, "_signed_bytes", None)
+            if name == "args":
+                value = tuple(value)
+        object.__setattr__(self, name, value)
 
     def digest(self) -> str:
         return sha256_hex(self.signed_bytes())
 
     def signed_bytes(self) -> bytes:
-        """The bytes covered by the client's proposal signature."""
-        return canonical_json(
-            {
-                "tx_id": self.tx_id,
-                "channel": self.channel,
-                "chaincode": self.chaincode,
-                "function": self.function,
-                "args": self.args,
-            }
-        )
+        """The bytes covered by the client's proposal signature.
+
+        A proposal never changes after the client signs it, yet every
+        endorsing peer re-verifies the signature over these bytes —
+        serialize once and cache.  Mutating a covered field invalidates
+        the cache (see ``__setattr__``), so stale bytes can never satisfy
+        verification.
+        """
+        if self._signed_bytes is None:
+            self._signed_bytes = canonical_json(
+                {
+                    "tx_id": self.tx_id,
+                    "channel": self.channel,
+                    "chaincode": self.chaincode,
+                    "function": self.function,
+                    "args": list(self.args),
+                }
+            )
+        return self._signed_bytes
 
 
 @dataclass

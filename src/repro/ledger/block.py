@@ -21,17 +21,25 @@ class BlockHeader:
     timestamp: float
 
     def digest(self) -> str:
-        """Hash of the header; this is "the block hash" referenced by children."""
-        return sha256_hex(
-            canonical_json(
-                {
-                    "number": self.number,
-                    "previous_hash": self.previous_hash,
-                    "data_hash": self.data_hash,
-                    "timestamp": self.timestamp,
-                }
+        """Hash of the header; this is "the block hash" referenced by children.
+
+        Memoized — the header is frozen, and the chain link check recomputes
+        the previous block's hash on every append otherwise.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = sha256_hex(
+                canonical_json(
+                    {
+                        "number": self.number,
+                        "previous_hash": self.previous_hash,
+                        "data_hash": self.data_hash,
+                        "timestamp": self.timestamp,
+                    }
+                )
             )
-        )
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
 
 @dataclass
@@ -47,6 +55,7 @@ class Block:
     transactions: List[Transaction]
     validation_flags: List[TxValidationCode] = field(default_factory=list)
     orderer: str = ""
+    _size: Optional[int] = field(default=None, init=False, repr=False, compare=False)
 
     @classmethod
     def build(
@@ -58,7 +67,7 @@ class Block:
         orderer: str = "",
     ) -> "Block":
         """Assemble a block, computing the Merkle data hash over the txs."""
-        tree = MerkleTree([tx.envelope_bytes() for tx in transactions])
+        tree = MerkleTree.from_leaf_hashes([tx.digest() for tx in transactions])
         header = BlockHeader(
             number=number,
             previous_hash=previous_hash,
@@ -81,12 +90,26 @@ class Block:
 
     @property
     def size_bytes(self) -> int:
-        """Approximate wire size of the block."""
-        return sum(tx.size_bytes for tx in self.transactions) + 256
+        """Approximate wire size of the block.
+
+        Cached: the orderer and every peer charge serialization, transfer
+        and disk time from this value several times per delivery, and the
+        transaction list is fixed after ordering (``tamper`` — the one
+        sanctioned mutation — drops the cache).
+        """
+        if self._size is None:
+            self._size = sum(tx.size_bytes for tx in self.transactions) + 256
+        return self._size
 
     def merkle_tree(self) -> MerkleTree:
-        """(Re)build the Merkle tree over the block's transactions."""
-        return MerkleTree([tx.envelope_bytes() for tx in self.transactions])
+        """(Re)build the Merkle tree over the block's transactions.
+
+        Leaf hashes are the transaction digests (``sha256(envelope)``), so
+        sealed envelopes contribute their cached digest while tampered
+        (unsealed) clones are re-serialized and re-hashed — mutations stay
+        visible to :meth:`verify_data_hash`.
+        """
+        return MerkleTree.from_leaf_hashes([tx.digest() for tx in self.transactions])
 
     def verify_data_hash(self) -> bool:
         """Check that the header's data hash matches the transactions."""
@@ -117,3 +140,20 @@ class Block:
             if tx.tx_id == tx_id:
                 return tx
         return None
+
+    def tamper(self, tx_position: int) -> Transaction:
+        """Copy-on-write hook: make one transaction of *this* block mutable.
+
+        Peers share sealed transaction objects structurally instead of
+        deep-copying every block; a tamper-evidence experiment therefore
+        swaps in a private :meth:`Transaction.tamper` clone (and a private
+        transaction list) before mutating, so only this block's copy — one
+        peer's ledger — diverges.  Returns the mutable clone; the header's
+        data hash is intentionally left untouched so verification detects
+        the rewrite.
+        """
+        transactions = list(self.transactions)
+        transactions[tx_position] = transactions[tx_position].tamper()
+        self.transactions = transactions
+        self._size = None  # clone edits may change the serialized size
+        return transactions[tx_position]

@@ -9,6 +9,7 @@ value written.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -31,6 +32,10 @@ class HistoryDatabase:
 
     def __init__(self) -> None:
         self._entries: Dict[str, List[HistoryEntry]] = {}
+        # Maintained sorted key list: the index is append-only (keys are
+        # never removed, matching Fabric's history database), so one
+        # insort per *new* key replaces a full re-sort per ``keys()`` call.
+        self._sorted_keys: List[str] = []
         self.total_entries = 0
 
     def record(
@@ -53,7 +58,12 @@ class HistoryDatabase:
             value=value,
             is_delete=is_delete,
         )
-        self._entries.setdefault(key, []).append(entry)
+        existing = self._entries.get(key)
+        if existing is None:
+            self._entries[key] = [entry]
+            insort(self._sorted_keys, key)
+        else:
+            existing.append(entry)
         self.total_entries += 1
         return entry
 
@@ -71,4 +81,4 @@ class HistoryDatabase:
         return len(self._entries.get(key, []))
 
     def keys(self) -> List[str]:
-        return sorted(self._entries)
+        return list(self._sorted_keys)

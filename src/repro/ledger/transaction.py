@@ -1,11 +1,28 @@
-"""Transactions, read/write sets and endorsements."""
+"""Transactions, read/write sets and endorsements.
+
+Envelope serialization (``envelope_bytes``/``digest``/``size_bytes``) and
+rw-set digests are on the simulator's hottest path: every block cut, every
+Merkle build and every per-peer validation touches them.  Both classes
+therefore cache their canonical bytes.  The cache contract is explicit:
+
+* mutations go through the mutation API (``add_read``/``add_write``),
+  which invalidates the cache;
+* ``seal()`` freezes the envelope (the client seals after assembling it,
+  before ordering) — after that the cached bytes are reused forever and
+  mutation attempts fail loudly;
+* ``tamper()`` returns a private, unsealed copy-on-write clone for
+  tamper-evidence experiments, so structurally shared envelopes on other
+  peers stay untouched.
+"""
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import ClassVar, Dict, List, NamedTuple, Optional, Tuple
 
+from repro.common.caching import BoundedMemo
+from repro.common.errors import SealedEnvelopeError
 from repro.common.hashing import sha256_hex
 from repro.common.serialization import canonical_json
 from repro.crypto.certificates import Certificate
@@ -29,16 +46,19 @@ class TxValidationCode(enum.Enum):
     INVALID_OTHER_REASON = "INVALID_OTHER_REASON"
 
 
-@dataclass(frozen=True)
-class ReadSetEntry:
-    """A key read during simulation together with the version observed."""
+class ReadSetEntry(NamedTuple):
+    """A key read during simulation together with the version observed.
+
+    A ``NamedTuple`` rather than a frozen dataclass: range scans record
+    one entry per returned key, and namedtuple construction is several
+    times cheaper while staying immutable and value-compared.
+    """
 
     key: str
     version: Optional[Version]
 
 
-@dataclass(frozen=True)
-class WriteSetEntry:
+class WriteSetEntry(NamedTuple):
     """A key written during simulation; ``is_delete`` marks deletions."""
 
     key: str
@@ -52,11 +72,52 @@ class ReadWriteSet:
 
     reads: List[ReadSetEntry] = field(default_factory=list)
     writes: List[WriteSetEntry] = field(default_factory=list)
+    _digest: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _sealed: bool = field(default=False, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name in ("reads", "writes") and getattr(self, "_sealed", False):
+            raise SealedEnvelopeError(f"cannot rebind {name!r} on a sealed rw-set")
+        object.__setattr__(self, name, value)
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def seal(self) -> "ReadWriteSet":
+        """Freeze the rw-set; further ``add_read``/``add_write`` calls raise."""
+        if not self._sealed:
+            object.__setattr__(self, "reads", tuple(self.reads))
+            object.__setattr__(self, "writes", tuple(self.writes))
+            self._sealed = True
+        return self
+
+    def copy(self) -> "ReadWriteSet":
+        """A private, unsealed clone (entries are immutable and shared)."""
+        clone = ReadWriteSet(reads=list(self.reads), writes=list(self.writes))
+        return clone
 
     def add_read(self, key: str, version: Optional[Version]) -> None:
+        if self._sealed:
+            raise SealedEnvelopeError("cannot add a read to a sealed rw-set")
+        self._digest = None
         self.reads.append(ReadSetEntry(key=key, version=version))
 
+    def extend_reads(self, pairs: List[Tuple[str, Optional[Version]]]) -> None:
+        """Record many reads at once (range/prefix scans)."""
+        if self._sealed:
+            raise SealedEnvelopeError("cannot add a read to a sealed rw-set")
+        self._digest = None
+        self.reads.extend(
+            ReadSetEntry(key=key, version=version) for key, version in pairs
+        )
+
     def add_write(self, key: str, value: Optional[str], is_delete: bool = False) -> None:
+        if self._sealed:
+            raise SealedEnvelopeError("cannot add a write to a sealed rw-set")
+        self._digest = None
         self.writes.append(WriteSetEntry(key=key, value=value, is_delete=is_delete))
 
     def to_dict(self) -> Dict[str, object]:
@@ -71,9 +132,35 @@ class ReadWriteSet:
             ],
         }
 
+    #: Cross-object digest memo for small rw-sets: every endorsing peer
+    #: simulates the same invocation and produces an identical rw-set in
+    #: its own object, so the serialized digest can be shared by content.
+    #: Large (range-scan) rw-sets skip the memo — they are one-shot per
+    #: query and tupling hundreds of entries buys nothing.
+    _DIGEST_MEMO: ClassVar[BoundedMemo] = BoundedMemo(50_000)
+    _DIGEST_MEMO_ENTRY_LIMIT = 64
+
     def digest(self) -> str:
-        """Stable digest of the read/write set (what endorsers sign)."""
-        return sha256_hex(canonical_json(self.to_dict()))
+        """Stable digest of the read/write set (what endorsers sign).
+
+        Computed once and cached per object; the cache is dropped whenever
+        the mutation API adds an entry.  Small rw-sets additionally share
+        digests across objects with identical content.
+        """
+        if self._digest is not None:
+            return self._digest
+        memo_key = None
+        if len(self.reads) + len(self.writes) <= self._DIGEST_MEMO_ENTRY_LIMIT:
+            memo_key = (tuple(self.reads), tuple(self.writes))
+            shared = self._DIGEST_MEMO.get(memo_key)
+            if shared is not None:
+                self._digest = shared
+                return shared
+        digest = sha256_hex(canonical_json(self.to_dict()))
+        if memo_key is not None:
+            self._DIGEST_MEMO[memo_key] = digest
+        self._digest = digest
+        return digest
 
 
 @dataclass
@@ -85,6 +172,17 @@ class Endorsement:
     certificate: Certificate
     signature: str
     response_digest: str
+    _sealed: bool = field(default=False, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if getattr(self, "_sealed", False) and name != "_sealed":
+            raise SealedEnvelopeError(
+                "cannot modify an endorsement inside a sealed envelope"
+            )
+        object.__setattr__(self, name, value)
+
+    def _seal(self) -> None:
+        self._sealed = True
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -119,10 +217,84 @@ class Transaction:
     #: Chaincode event emitted during endorsement, as ``(name, payload)``.
     chaincode_event: Optional[Tuple[str, str]] = None
     validation_code: TxValidationCode = TxValidationCode.VALID
+    _envelope: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _envelope_digest: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _sealed: bool = field(default=False, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # Sealed envelopes are structurally shared across peers: rebinding
+        # any envelope field (scalar or container) would mutate every
+        # peer's ledger at once while the cached bytes keep verifying.
+        # Only commit metadata (``validation_code``) and the private cache
+        # slots stay assignable after seal().
+        if (
+            getattr(self, "_sealed", False)
+            and name != "validation_code"
+            and not name.startswith("_")
+        ):
+            raise SealedEnvelopeError(
+                f"cannot assign {name!r} on a sealed transaction; "
+                "mutate a tamper() clone instead"
+            )
+        object.__setattr__(self, name, value)
 
     @property
     def is_valid(self) -> bool:
         return self.validation_code is TxValidationCode.VALID
+
+    # ------------------------------------------------------------ seal/tamper
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def seal(self) -> "Transaction":
+        """Freeze the envelope so its canonical bytes can be cached forever.
+
+        The client seals right after assembling the envelope (nothing may
+        change once it is submitted for ordering); sealing converts the
+        mutable containers to tuples so accidental in-place edits fail
+        loudly instead of silently diverging from the cached bytes.
+        ``validation_code`` stays assignable — it is commit metadata, not
+        part of the envelope.
+        """
+        if not self._sealed:
+            object.__setattr__(self, "args", tuple(self.args))
+            object.__setattr__(self, "endorsements", tuple(self.endorsements))
+            for endorsement in self.endorsements:
+                endorsement._seal()
+            self.rw_set.seal()
+            self._sealed = True
+        return self
+
+    def tamper(self) -> "Transaction":
+        """Copy-on-write hook: a private, *unsealed* clone of this envelope.
+
+        Sealed envelopes are structurally shared between the orderer and
+        every peer, so tamper-evidence experiments must not edit them in
+        place.  The clone recomputes its canonical bytes on demand, so any
+        mutation is visible to hash verification — exactly what the
+        tamper-evidence guarantee requires.
+        """
+        clone = Transaction(
+            tx_id=self.tx_id,
+            channel=self.channel,
+            chaincode=self.chaincode,
+            function=self.function,
+            args=list(self.args),
+            rw_set=self.rw_set.copy(),
+            endorsements=[replace(e) for e in self.endorsements],
+            creator=self.creator,
+            creator_signature=self.creator_signature,
+            timestamp=self.timestamp,
+            response_payload=self.response_payload,
+            chaincode_event=self.chaincode_event,
+            validation_code=self.validation_code,
+        )
+        return clone
 
     def proposal_bytes(self) -> bytes:
         """The canonical bytes of the original proposal (what the client signs)."""
@@ -137,23 +309,38 @@ class Transaction:
         )
 
     def envelope_bytes(self) -> bytes:
-        """Canonical bytes of the full transaction envelope (hashed into blocks)."""
-        return canonical_json(
+        """Canonical bytes of the full transaction envelope (hashed into blocks).
+
+        Sealed envelopes serialize exactly once and reuse the bytes;
+        unsealed ones (test fixtures, tampered clones) recompute per call
+        so in-place edits remain hash-visible.
+        """
+        if self._envelope is not None:
+            return self._envelope
+        envelope = canonical_json(
             {
                 "tx_id": self.tx_id,
                 "channel": self.channel,
                 "chaincode": self.chaincode,
                 "function": self.function,
-                "args": self.args,
+                "args": list(self.args),
                 "rw_set": self.rw_set.to_dict(),
                 "endorsements": [e.to_dict() for e in self.endorsements],
                 "creator": self.creator.to_dict() if self.creator else None,
                 "timestamp": self.timestamp,
             }
         )
+        if self._sealed:
+            self._envelope = envelope
+        return envelope
 
     def digest(self) -> str:
-        return sha256_hex(self.envelope_bytes())
+        if self._envelope_digest is not None:
+            return self._envelope_digest
+        digest = sha256_hex(self.envelope_bytes())
+        if self._sealed:
+            self._envelope_digest = digest
+        return digest
 
     @property
     def size_bytes(self) -> int:

@@ -4,14 +4,27 @@ Fabric stores the world state in LevelDB/CouchDB; the version of a key is
 the height (block number, tx number) of the transaction that last wrote
 it.  MVCC validation compares the versions recorded in a transaction's
 read set against the current world-state versions.
+
+The key space is kept in a maintained sorted index (``bisect``-based
+insort on insert, a lazily compacted tombstone set on delete) so range
+and prefix scans cost O(log n + k) instead of re-sorting the whole key
+space per call.  An optional secondary prefix index additionally buckets
+keys by their first ``/``-separated segment, which lets prefix-scoped
+rich queries fetch their candidate keys without touching the rest of the
+key space.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.ledger.transaction import Version
+
+#: Compact the sorted index once tombstones outnumber this floor *and*
+#: half of the live keys (amortizes rebuilds over many deletes).
+_COMPACT_MIN_TOMBSTONES = 16
 
 
 @dataclass(frozen=True)
@@ -22,11 +35,90 @@ class VersionedValue:
     version: Version
 
 
+class _SortedKeyIndex:
+    """A sorted key list maintained incrementally with lazy deletions.
+
+    Inserts use ``insort`` (O(log n) search + memmove); deletions only
+    record a tombstone, and scans skip dead entries until a compaction
+    rebuilds the list.  Re-inserting a tombstoned key simply clears the
+    tombstone, so the list never holds duplicates.
+    """
+
+    def __init__(self) -> None:
+        self._keys: List[str] = []
+        self._dead: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._keys) - len(self._dead)
+
+    def add(self, key: str) -> None:
+        if key in self._dead:
+            self._dead.discard(key)
+            return
+        insort(self._keys, key)
+
+    def discard(self, key: str) -> None:
+        self._dead.add(key)
+        if len(self._dead) >= _COMPACT_MIN_TOMBSTONES and \
+                len(self._dead) * 2 >= len(self._keys):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop tombstoned entries from the sorted list.
+
+        Rebinds (never mutates) both the key list and the tombstone set:
+        in-flight scans hold references to the old objects and keep
+        iterating a consistent snapshot.
+        """
+        if self._dead:
+            dead = self._dead
+            self._keys = [key for key in self._keys if key not in dead]
+            self._dead = set()
+
+    def scan(self, start_key: str = "", end_key: str = "") -> Iterator[str]:
+        """Live keys with ``start_key <= key`` and (if set) ``key < end_key``.
+
+        Iterates a stable snapshot: deletions during iteration hide keys
+        not yet yielded, and a concurrent compaction cannot shift
+        positions under the scan (see :meth:`compact`).
+        """
+        keys = self._keys
+        dead = self._dead
+        index = bisect_left(keys, start_key) if start_key else 0
+        for position in range(index, len(keys)):
+            key = keys[position]
+            if end_key and key >= end_key:
+                return
+            if key not in dead:
+                yield key
+
+    def scan_prefix(self, prefix: str) -> Iterator[str]:
+        """Live keys starting with ``prefix`` (a contiguous sorted run)."""
+        keys = self._keys
+        dead = self._dead
+        index = bisect_left(keys, prefix) if prefix else 0
+        for position in range(index, len(keys)):
+            key = keys[position]
+            if prefix and not key.startswith(prefix):
+                return
+            if key not in dead:
+                yield key
+
+
 class WorldState:
     """Versioned key/value store with range and composite-key queries."""
 
-    def __init__(self) -> None:
+    #: Separator used by the optional secondary prefix index to bucket
+    #: keys by their first path segment (``tenant/...``, ``perf/...``).
+    PREFIX_SEPARATOR = "/"
+
+    def __init__(self, prefix_index: bool = True) -> None:
         self._data: Dict[str, VersionedValue] = {}
+        self._index = _SortedKeyIndex()
+        #: first-segment bucket → sorted sub-index (secondary prefix index).
+        self._buckets: Optional[Dict[str, _SortedKeyIndex]] = (
+            {} if prefix_index else None
+        )
         self.writes_applied = 0
 
     def get(self, key: str) -> Optional[VersionedValue]:
@@ -43,13 +135,31 @@ class WorldState:
 
     def put(self, key: str, value: str, version: Version) -> None:
         """Commit a write (only the committing peer calls this)."""
+        if key not in self._data:
+            self._index.add(key)
+            bucket = self._bucket_for(key)
+            if bucket is not None:
+                bucket.add(key)
         self._data[key] = VersionedValue(value=value, version=version)
         self.writes_applied += 1
 
     def delete(self, key: str, version: Version) -> None:
         """Remove a key from the world state."""
-        self._data.pop(key, None)
+        if self._data.pop(key, None) is not None:
+            self._index.discard(key)
+            bucket = self._bucket_for(key)
+            if bucket is not None:
+                bucket.discard(key)
         self.writes_applied += 1
+
+    def _bucket_for(self, key: str) -> Optional[_SortedKeyIndex]:
+        if self._buckets is None:
+            return None
+        segment = key.split(self.PREFIX_SEPARATOR, 1)[0]
+        bucket = self._buckets.get(segment)
+        if bucket is None:
+            bucket = self._buckets[segment] = _SortedKeyIndex()
+        return bucket
 
     def __contains__(self, key: str) -> bool:
         return key in self._data
@@ -58,11 +168,14 @@ class WorldState:
         return len(self._data)
 
     def keys(self) -> List[str]:
-        return sorted(self._data)
+        return list(self._index.scan())
 
     def items(self) -> Iterator[Tuple[str, VersionedValue]]:
-        for key in sorted(self._data):
-            yield key, self._data[key]
+        data = self._data
+        for key in self._index.scan():
+            entry = data.get(key)
+            if entry is not None:  # deleted while iterating
+                yield key, entry
 
     def range_query(self, start_key: str, end_key: str) -> List[Tuple[str, str]]:
         """All ``(key, value)`` pairs with ``start_key <= key < end_key``.
@@ -70,22 +183,49 @@ class WorldState:
         An empty ``end_key`` means "to the end of the key space", matching
         Fabric's ``GetStateByRange`` semantics.
         """
-        results: List[Tuple[str, str]] = []
-        for key in sorted(self._data):
-            if key < start_key:
-                continue
-            if end_key and key >= end_key:
-                break
-            results.append((key, self._data[key].value))
-        return results
+        return [
+            (key, self._data[key].value)
+            for key in self._index.scan(start_key, end_key)
+        ]
+
+    def range_query_versioned(
+        self, start_key: str, end_key: str
+    ) -> List[Tuple[str, VersionedValue]]:
+        """Range query returning the full versioned entries in one pass.
+
+        The shim records a read (key + version) for every returned pair;
+        fetching the :class:`VersionedValue` directly avoids a second
+        per-key lookup for the version.
+        """
+        data = self._data
+        return [(key, data[key]) for key in self._index.scan(start_key, end_key)]
 
     def query_by_prefix(self, prefix: str) -> List[Tuple[str, str]]:
-        """All pairs whose key starts with ``prefix`` (composite-key lookups)."""
+        """All pairs whose key starts with ``prefix`` (composite-key lookups).
+
+        Served from the secondary prefix index when the queried prefix is
+        contained in a single first-segment bucket, otherwise from the
+        main sorted index (same complexity, larger constant).
+        """
         return [
             (key, entry.value)
-            for key, entry in self.items()
-            if key.startswith(prefix)
+            for key, entry in self.query_by_prefix_versioned(prefix)
         ]
+
+    def query_by_prefix_versioned(
+        self, prefix: str
+    ) -> List[Tuple[str, VersionedValue]]:
+        """Prefix query returning the full versioned entries in one pass."""
+        index: _SortedKeyIndex = self._index
+        if self._buckets is not None and prefix:
+            segment, separator, _rest = prefix.partition(self.PREFIX_SEPARATOR)
+            if separator:  # the prefix names one complete bucket
+                bucket = self._buckets.get(segment)
+                if bucket is None:
+                    return []
+                index = bucket
+        data = self._data
+        return [(key, data[key]) for key in index.scan_prefix(prefix)]
 
     def snapshot(self) -> Dict[str, str]:
         """Plain ``{key: value}`` copy of the current state."""

@@ -49,14 +49,21 @@ class TransactionPipeline:
                 raise ConfigurationError(
                     f"{middleware!r} does not implement the Middleware interface"
                 )
+        # The chain is static after construction; compose the nested
+        # call_next closures once instead of rebuilding them per execute
+        # (the pipeline runs for every operator of every client).
+        self._entry: Handler = self._compose()
+
+    def _compose(self) -> Handler:
+        handler = self.terminal
+        for middleware in reversed(self.middlewares):
+            handler = self._wrap(middleware, handler)
+        return handler
 
     # -------------------------------------------------------------- execute
     def execute(self, ctx: Context) -> Any:
         """Run ``ctx`` through the chain and return the terminal's result."""
-        handler = self.terminal
-        for middleware in reversed(self.middlewares):
-            handler = self._wrap(middleware, handler)
-        result = handler(ctx)
+        result = self._entry(ctx)
         ctx.result = result
         return result
 

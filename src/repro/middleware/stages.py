@@ -144,6 +144,10 @@ class CollectEndorsementsStage(FabricStage):
             response_payload=consistent[0].payload,
             chaincode_event=consistent[0].chaincode_event,
         )
+        # Nothing may change once the envelope is submitted for ordering:
+        # seal it so its canonical bytes/digest are computed once and then
+        # shared by the cutter, the Merkle build and every validating peer.
+        state.transaction.seal()
         return call_next(ctx)
 
 

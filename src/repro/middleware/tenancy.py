@@ -83,8 +83,31 @@ class TenantPrefixMiddleware(Middleware):
             ctx.args[0] = self.prefix + ctx.args[0]
             # An empty end key means "unbounded"; bound it to the namespace.
             ctx.args[1] = self.prefix + (ctx.args[1] or _RANGE_END_SENTINEL)
+        elif ctx.function == "query" and ctx.args:
+            ctx.args[0] = self._namespace_selector_prefix(ctx.args[0])
         elif ctx.operation == "store_record" and ctx.args:
             ctx.args[0] = self.prefix + ctx.args[0]
+
+    def _namespace_selector_prefix(self, encoded: str) -> str:
+        """Scope a rich-query selector's reserved ``_prefix`` to the tenant.
+
+        Selectors match record fields, so only the key-prefix scoping hint
+        needs rewriting; rows are still post-filtered to the namespace.  A
+        selector without ``_prefix`` gains one covering the whole tenant
+        namespace, so the candidate scan skips other tenants entirely.
+        """
+        try:
+            selector = json.loads(encoded)
+        except (TypeError, ValueError):
+            return encoded
+        if not isinstance(selector, dict) or not selector:
+            return encoded  # malformed/empty: let the chaincode reject it
+        existing = selector.get("_prefix", "")
+        if not isinstance(existing, str):
+            return encoded  # invalid _prefix type: chaincode rejects it
+        return json.dumps(
+            {**selector, "_prefix": self.prefix + existing}, sort_keys=True
+        )
 
     def _prefix_dependency_json(self, encoded: str) -> str:
         try:

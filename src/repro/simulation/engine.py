@@ -36,10 +36,18 @@ class Event:
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
     daemon: bool = field(default=False, compare=False)
+    #: Owning engine, set by ``schedule_at`` so cancellation can feed the
+    #: engine's heap-compaction accounting.  ``None`` for detached events.
+    engine: Optional["SimulationEngine"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Prevent this event from firing (it stays in the queue but is skipped)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.engine is not None:
+                self.engine._note_cancelled(self)
 
 
 class Process:
@@ -92,6 +100,10 @@ class Process:
 class SimulationEngine:
     """Priority-queue based discrete-event scheduler."""
 
+    #: Compact the heap only once it holds at least this many events (below
+    #: that, popping cancelled entries lazily is cheaper than rebuilding).
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self.clock = VirtualClock(start_time)
         self._queue: List[Event] = []
@@ -102,6 +114,11 @@ class SimulationEngine:
         # have not been popped yet); kept incrementally so the run loop's
         # idle check is O(1).
         self._non_daemon_queued = 0
+        # Cancelled events still sitting in the heap; once they exceed half
+        # the queue the heap is compacted (mass-cancellation workloads —
+        # retry timers, election timeouts — would otherwise carry the dead
+        # entries until their timestamps are reached).
+        self._cancelled_queued = 0
 
     @property
     def now(self) -> float:
@@ -132,11 +149,43 @@ class SimulationEngine:
             callback=callback,
             label=label,
             daemon=daemon,
+            engine=self,
         )
         heapq.heappush(self._queue, event)
         if not daemon:
             self._non_daemon_queued += 1
         return event
+
+    # ------------------------------------------------------------ compaction
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled_queued
+
+    def _note_cancelled(self, event: Event) -> None:
+        """Called by :meth:`Event.cancel`; compacts when the heap is mostly dead."""
+        self._cancelled_queued += 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_QUEUE
+            and self._cancelled_queued * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap and re-heapify."""
+        live: List[Event] = []
+        removed_non_daemon = 0
+        for queued in self._queue:
+            if queued.cancelled:
+                queued.engine = None
+                if not queued.daemon:
+                    removed_non_daemon += 1
+            else:
+                live.append(queued)
+        heapq.heapify(live)
+        self._queue = live
+        self._non_daemon_queued -= removed_non_daemon
+        self._cancelled_queued = 0
 
     def schedule_in(
         self, delay: float, callback: EventCallback, label: str = "", daemon: bool = False
@@ -158,9 +207,13 @@ class SimulationEngine:
         """Execute the next event.  Returns ``False`` when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            # Detach so a late cancel() of an already-popped event cannot
+            # skew the cancelled-in-heap accounting.
+            event.engine = None
             if not event.daemon:
                 self._non_daemon_queued -= 1
             if event.cancelled:
+                self._cancelled_queued -= 1
                 continue
             self.clock.advance_to(event.timestamp)
             event.callback()
@@ -183,8 +236,10 @@ class SimulationEngine:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    head.engine = None
                     if not head.daemon:
                         self._non_daemon_queued -= 1
+                    self._cancelled_queued -= 1
                     continue
                 if until is not None and head.timestamp > until:
                     break

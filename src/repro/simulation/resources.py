@@ -8,8 +8,7 @@ queueing delay is modelled without an explicit waiting queue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from typing import NamedTuple, Tuple
 
 from repro.common.errors import SimulationError
 
@@ -18,19 +17,21 @@ class ResourceBusyError(SimulationError):
     """Raised when a non-blocking reservation cannot be satisfied."""
 
 
-@dataclass
-class Reservation:
-    """Outcome of a resource reservation."""
+class Reservation(NamedTuple):
+    """Outcome of a resource reservation.
+
+    A ``NamedTuple`` — reservations are created on every simulated CPU,
+    disk and NIC charge, several times per transaction.
+    """
 
     start: float
     end: float
+    requested_at: float = 0.0
 
     @property
     def wait(self) -> float:
         """Queueing delay experienced before the reservation started."""
         return max(0.0, self.start - self.requested_at)
-
-    requested_at: float = 0.0
 
 
 class SimResource:
@@ -58,15 +59,14 @@ class SimResource:
         """
         if duration < 0:
             raise SimulationError("cannot reserve a negative duration")
-        slot = min(range(self.concurrency), key=lambda i: self._free_at[i])
-        start = max(requested_at, self._free_at[slot])
+        free_at = self._free_at
+        slot = free_at.index(min(free_at))
+        start = max(requested_at, free_at[slot])
         end = start + duration
         self._free_at[slot] = end
         self.busy_time += duration
         self.reservations += 1
-        reservation = Reservation(start=start, end=end)
-        reservation.requested_at = requested_at
-        return reservation
+        return Reservation(start=start, end=end, requested_at=requested_at)
 
     def try_reserve(self, requested_at: float, duration: float) -> Reservation:
         """Reserve only if a slot is free exactly at ``requested_at``."""

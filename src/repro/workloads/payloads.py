@@ -57,6 +57,18 @@ class PayloadGenerator:
         data = self._payload(max(0, self.size_bytes - len(suffix))) + suffix
         return DataItem(key=key, data=data, metadata={"sequence": self._counter})
 
+    def next_key(self) -> str:
+        """Advance the sequence and return only the next item's key.
+
+        Metadata-only workloads (provenance posts whose payload lives
+        elsewhere) never touch the payload bytes; skipping their
+        generation keeps the benchmark driver off the simulator's
+        wall-clock profile.  The key sequence is identical to the one
+        :meth:`next_item` produces.
+        """
+        self._counter += 1
+        return f"{self.prefix}/{self._counter:06d}"
+
     def items(self, count: int) -> Iterator[DataItem]:
         """Generate ``count`` items lazily."""
         for _ in range(count):

@@ -124,9 +124,13 @@ def test_hyperprov_audit_detects_local_ledger_rewrite():
     store = deployment.client.as_store()
     store.store(StoreRequest(key="t", data=b"original"))
     victim = deployment.peers[0]
-    tx = next(
-        t for t in victim.block_store.block(0).transactions if t.function == "set"
+    block = victim.block_store.block(0)
+    position = next(
+        i for i, t in enumerate(block.transactions) if t.function == "set"
     )
+    # Committed envelopes are sealed and shared across peers; the rewrite
+    # goes through the peer's copy-on-write tamper hook.
+    tx = victim.tamper(0, position)
     tx.args[1] = checksum_of(b"forged")
     assert store.audit() is False
 

@@ -106,6 +106,61 @@ def test_query_skips_internal_and_malformed_values():
     assert [row["key"] for row in json.loads(response.payload)] == ["good"]
 
 
+def test_query_prefix_scopes_scan_to_candidate_keys():
+    chaincode = HyperProvChaincode()
+    state = state_with_records(
+        record("tenant/a/1", creator="client1"),
+        record("tenant/a/2", creator="other"),
+        record("tenant/b/1", creator="client1"),
+    )
+    scoped = chaincode.invoke(
+        stub_for(
+            "query",
+            [json.dumps({"_prefix": "tenant/a/", "creator": "client1"})],
+            state=state,
+        )
+    )
+    assert [row["key"] for row in json.loads(scoped.payload)] == ["tenant/a/1"]
+    # The rw-set only records the candidate keys, not the whole key space.
+    stub = stub_for(
+        "query", [json.dumps({"_prefix": "tenant/a/", "creator": "client1"})],
+        state=state,
+    )
+    chaincode.invoke(stub)
+    assert sorted(r.key for r in stub.rw_set.reads) == ["tenant/a/1", "tenant/a/2"]
+
+
+def test_query_prefix_alone_returns_everything_under_it():
+    chaincode = HyperProvChaincode()
+    state = state_with_records(record("p/1"), record("p/2"), record("q/1"))
+    response = chaincode.invoke(
+        stub_for("query", [json.dumps({"_prefix": "p/"})], state=state)
+    )
+    assert [row["key"] for row in json.loads(response.payload)] == ["p/1", "p/2"]
+
+
+def test_query_prefix_validation():
+    chaincode = HyperProvChaincode()
+    assert not chaincode.invoke(
+        stub_for("query", [json.dumps({"_prefix": 7})])
+    ).is_ok
+    # An empty prefix with no other selector fields is still rejected.
+    assert not chaincode.invoke(
+        stub_for("query", [json.dumps({"_prefix": ""})])
+    ).is_ok
+
+
+def test_query_parse_memo_does_not_serve_stale_records_after_update():
+    chaincode = HyperProvChaincode()
+    state = state_with_records(record("item", metadata={"rev": 1}))
+    selector = [json.dumps({"metadata.rev": 2})]
+    assert json.loads(chaincode.invoke(stub_for("query", selector, state=state)).payload) == []
+    updated = record("item", metadata={"rev": 2})
+    state.put("item", updated.to_json(), (1, 0))  # new version, new value
+    rows = json.loads(chaincode.invoke(stub_for("query", selector, state=state)).payload)
+    assert [row["key"] for row in rows] == ["item"]
+
+
 # --------------------------------------------------------------------- ACL
 def test_set_rejected_for_foreign_organization(org2_cert):
     chaincode = HyperProvChaincode()
@@ -176,3 +231,27 @@ def test_set_event_requires_name():
         stub.set_event("")
     stub.set_event("custom", "payload")
     assert stub.event == ("custom", "payload")
+
+
+def test_set_memo_does_not_leak_across_retry_timestamps(org1_cert):
+    """Regression: a retried tx reuses its tx_id with a later proposal
+    timestamp; the memoized record must carry the endorsed attempt's
+    timestamp, not the aborted one's."""
+    from repro.chaincode.shim import ChaincodeStub
+    from repro.ledger.history import HistoryDatabase
+
+    chaincode = HyperProvChaincode()
+    checksum = checksum_of(b"data")
+
+    def attempt(timestamp):
+        stub = ChaincodeStub(
+            tx_id="tx-retry", channel="ch", function="set",
+            args=["k", checksum, "loc"], world_state=WorldState(),
+            history=HistoryDatabase(), creator=org1_cert, timestamp=timestamp,
+        )
+        response = chaincode.invoke(stub)
+        assert response.is_ok
+        return json.loads(response.payload)
+
+    assert attempt(1.0)["timestamp"] == 1.0
+    assert attempt(2.5)["timestamp"] == 2.5

@@ -68,6 +68,41 @@ def test_published_count_increments():
     assert bus.published_count == 2
 
 
+def test_per_tx_topics_stay_bounded_across_many_transactions():
+    """Regression: one-shot ``tx_committed:{tx_id}`` subscriptions must not
+    leave an empty handler list behind for every transaction ever seen."""
+    bus = EventBus()
+    for tx_number in range(1000):
+        topic = f"tx_committed:tx-{tx_number}"
+        received = []
+        subscription = bus.subscribe(topic, lambda _t, p: received.append(p))
+        bus.publish(topic, {"tx": tx_number})
+        subscription.cancel()
+        assert received == [{"tx": tx_number}]
+    assert bus.topic_count == 0
+    assert bus.topics() == []
+
+
+def test_handler_cancelling_itself_during_publish_drops_topic():
+    bus = EventBus()
+    subscription = bus.subscribe("once", lambda *_: subscription.cancel())
+    assert bus.publish("once") == 1
+    assert bus.topic_count == 0
+    # Publishing to the now-empty topic is a no-op, not an error.
+    assert bus.publish("once") == 0
+
+
+def test_unsubscribe_keeps_topic_with_remaining_subscribers():
+    bus = EventBus()
+    keep = []
+    bus.subscribe("t", lambda *_: keep.append(1))
+    other = bus.subscribe("t", lambda *_: None)
+    other.cancel()
+    assert bus.topic_count == 1
+    bus.publish("t")
+    assert keep == [1]
+
+
 # -------------------------------------------------------------------- metrics
 def test_counter_increments_and_rejects_negative():
     registry = MetricsRegistry("test")

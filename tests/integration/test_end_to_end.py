@@ -53,7 +53,13 @@ def test_ledger_is_tamper_evident(desktop_deployment):
 
     victim = desktop_deployment.peers[0]
     block = victim.block_store.block(0)
-    target_tx = next(tx for tx in block.transactions if tx.function == "set")
+    position = next(
+        i for i, tx in enumerate(block.transactions) if tx.function == "set"
+    )
+    # Peers share sealed envelopes (zero-copy commit); a malicious peer
+    # rewrites via the copy-on-write tamper hook, which only swaps the
+    # clone into *its* ledger copy.
+    target_tx = victim.tamper(0, position)
     target_tx.args[1] = checksum_of(b"forged data")
 
     assert not victim.block_store.verify_chain()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import NotFoundError, ValidationError
+from repro.common.errors import NotFoundError, SealedEnvelopeError, ValidationError
 from repro.ledger.block import Block
 from repro.ledger.blockchain import BlockStore, GENESIS_PREVIOUS_HASH
 from repro.ledger.history import HistoryDatabase
@@ -52,6 +52,102 @@ def test_transaction_is_valid_flag():
     assert tx.is_valid
     tx.validation_code = TxValidationCode.MVCC_READ_CONFLICT
     assert not tx.is_valid
+
+
+# ---------------------------------------------------------------- seal/tamper
+def test_unsealed_transaction_recomputes_envelope_on_mutation():
+    tx = make_tx("t1")
+    before = tx.digest()
+    tx.args[1] = "mutated"
+    assert tx.digest() != before  # no stale cache on unsealed envelopes
+
+
+def test_sealed_transaction_caches_envelope_and_rejects_mutation():
+    tx = make_tx("t1")
+    unsealed_digest = tx.digest()
+    assert tx.seal() is tx
+    assert tx.sealed and tx.rw_set.sealed
+    assert tx.digest() == unsealed_digest  # sealing does not change bytes
+    assert tx.envelope_bytes() is tx.envelope_bytes()  # compute-once
+    with pytest.raises(TypeError):
+        tx.args[1] = "forged"
+    with pytest.raises(SealedEnvelopeError):
+        tx.rw_set.add_write("k", "forged")
+    with pytest.raises(SealedEnvelopeError):
+        tx.rw_set.add_read("k", None)
+    tx.seal()  # idempotent
+    # Commit metadata stays assignable on sealed envelopes.
+    tx.validation_code = TxValidationCode.MVCC_READ_CONFLICT
+    assert not tx.is_valid
+
+
+def test_sealed_transaction_rejects_scalar_field_mutation():
+    tx = make_tx("t1").seal()
+    with pytest.raises(SealedEnvelopeError):
+        tx.timestamp = 999.0
+    with pytest.raises(SealedEnvelopeError):
+        tx.creator_signature = "forged"
+    with pytest.raises(SealedEnvelopeError):
+        tx.rw_set = ReadWriteSet()
+    with pytest.raises(SealedEnvelopeError):
+        tx.rw_set.reads = []
+
+
+def test_sealed_endorsement_is_frozen_but_tamper_clone_is_not():
+    from repro.crypto.certificates import CertificateAuthority
+    from repro.ledger.transaction import Endorsement
+
+    ca = CertificateAuthority("ca1", "org1")
+    cert = ca.issue("peer0", "pk")
+    endorsement = Endorsement(
+        endorser="peer0", organization="org1", certificate=cert,
+        signature="sig", response_digest="digest",
+    )
+    tx = make_tx("t1")
+    tx.endorsements.append(endorsement)
+    tx.seal()
+    with pytest.raises(SealedEnvelopeError):
+        endorsement.signature = "forged"
+    clone = tx.tamper()
+    clone.endorsements[0].signature = "forged"  # private copy: allowed
+    assert tx.endorsements[0].signature == "sig"
+    assert clone.digest() != tx.digest()
+
+
+def test_rw_set_digest_cache_invalidated_by_mutation_api():
+    rw = ReadWriteSet()
+    rw.add_read("k", (0, 0))
+    first = rw.digest()
+    assert rw.digest() == first  # cached
+    rw.add_write("k", "v2")
+    assert rw.digest() != first  # mutation API dropped the cache
+
+
+def test_tamper_clone_is_mutable_isolated_and_hash_visible():
+    tx = make_tx("t1").seal()
+    clone = tx.tamper()
+    assert not clone.sealed
+    assert clone.digest() == tx.digest()  # identical until mutated
+    clone.args[1] = "forged"
+    clone.rw_set.add_write("extra", "w")
+    assert clone.digest() != tx.digest()
+    # The sealed original is untouched.
+    assert tx.args[1] == "v"
+    assert len(tx.rw_set.writes) == 1
+
+
+def test_block_tamper_swaps_in_private_clone():
+    txs = [make_tx("t1").seal(), make_tx("t2").seal()]
+    shared = Block.build(0, GENESIS_PREVIOUS_HASH, txs, timestamp=1.0)
+    peer_copy = Block(
+        header=shared.header, transactions=shared.transactions, orderer="o"
+    )
+    tampered = peer_copy.tamper(0)
+    tampered.args[1] = "forged"
+    assert not peer_copy.verify_data_hash()
+    # The other Block sharing the sealed transactions still verifies.
+    assert shared.verify_data_hash()
+    assert shared.transactions[0].args[1] == "v"
 
 
 # ----------------------------------------------------------------------- block
@@ -139,6 +235,38 @@ def test_history_tracks_deletes():
     history.record("k", "t1", 0, 0, 1.0, "v1")
     history.record("k", "t2", 1, 0, 2.0, None, is_delete=True)
     assert history.latest("k").is_delete
+
+
+def test_history_keys_maintained_sorted_without_rescan():
+    history = HistoryDatabase()
+    for key in ["m/2", "a/1", "z/9", "a/0", "m/2", "a/1"]:
+        history.record(key, f"t-{key}", 0, 0, 1.0, "v")
+    assert history.keys() == ["a/0", "a/1", "m/2", "z/9"]
+    # Returned list is a copy: mutating it cannot corrupt the index.
+    history.keys().append("bogus")
+    assert history.keys() == ["a/0", "a/1", "m/2", "z/9"]
+
+
+def test_world_state_prefix_bucket_index_matches_cross_bucket_scan():
+    state = WorldState()
+    for key, value in [
+        ("tenant/a/1", "a1"), ("tenant/b/2", "b2"), ("other/x", "x"),
+        ("tenantx/y", "y"),
+    ]:
+        state.put(key, value, (0, 0))
+    # Bucket-resolved prefix (contains the separator).
+    assert state.query_by_prefix("tenant/a/") == [("tenant/a/1", "a1")]
+    assert state.query_by_prefix("tenant/") == [
+        ("tenant/a/1", "a1"), ("tenant/b/2", "b2")
+    ]
+    # A prefix without a separator spans buckets ("tenant" vs "tenantx").
+    assert state.query_by_prefix("tenant") == [
+        ("tenant/a/1", "a1"), ("tenant/b/2", "b2"), ("tenantx/y", "y")
+    ]
+    assert state.query_by_prefix("missing/") == []
+    # Deletes are reflected in the bucket index too.
+    state.delete("tenant/a/1", (1, 0))
+    assert state.query_by_prefix("tenant/") == [("tenant/b/2", "b2")]
 
 
 # ------------------------------------------------------------------ blockstore

@@ -239,3 +239,33 @@ class TestPipelineConfig:
         assert pipeline.middleware_names() == [
             "request-id", "metrics", "retry", "read-cache",
         ]
+
+
+# ------------------------------------------------------------ tenant prefix
+def test_tenant_prefix_scopes_rich_query_prefix_selector():
+    import json
+
+    from repro.middleware.tenancy import TenantPrefixMiddleware
+
+    middleware = TenantPrefixMiddleware("acme")
+
+    scoped = make_ctx(
+        "query", args=[json.dumps({"_prefix": "sensor/", "creator": "x"})],
+        operation="query_records",
+    )
+    middleware._rewrite_args(scoped)
+    assert json.loads(scoped.args[0])["_prefix"] == "tenant/acme/sensor/"
+
+    # Without an explicit _prefix the scan is scoped to the whole tenant
+    # namespace, so candidate selection skips other tenants' keys.
+    unscoped = make_ctx(
+        "query", args=[json.dumps({"creator": "x"})], operation="query_records"
+    )
+    middleware._rewrite_args(unscoped)
+    assert json.loads(unscoped.args[0])["_prefix"] == "tenant/acme/"
+
+    # Malformed selectors pass through so the chaincode still rejects them.
+    for bad in ["{not json", "{}", json.dumps({"_prefix": 7})]:
+        ctx = make_ctx("query", args=[bad], operation="query_records")
+        middleware._rewrite_args(ctx)
+        assert ctx.args[0] == bad

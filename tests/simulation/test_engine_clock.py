@@ -86,6 +86,63 @@ def test_cancelled_events_are_skipped():
     assert fired == []
 
 
+def test_mass_cancellation_compacts_the_heap():
+    """Cancelled retry timers must not linger in the heap until their
+    (possibly far-future) timestamps are popped."""
+    engine = SimulationEngine()
+    fired = []
+    keepers = [
+        engine.schedule_at(10_000.0 + index, lambda i=index: fired.append(i))
+        for index in range(10)
+    ]
+    timers = [
+        engine.schedule_at(1_000_000.0 + index, lambda: fired.append("timer"))
+        for index in range(1000)
+    ]
+    assert engine.pending_events == 1010
+    for timer in timers:
+        timer.cancel()
+    # Compaction kicked in repeatedly: the heap holds the 10 live events
+    # plus at most a sub-threshold tail of dead ones (never the 1000).
+    assert engine.pending_events < SimulationEngine.COMPACT_MIN_QUEUE
+    assert engine.cancelled_pending == engine.pending_events - 10
+    engine.run_until_idle()
+    assert fired == list(range(10))
+    assert all(not keeper.cancelled for keeper in keepers)
+
+
+def test_double_cancel_and_late_cancel_keep_accounting_consistent():
+    engine = SimulationEngine()
+    fired = []
+    event = engine.schedule_at(1.0, lambda: fired.append(1))
+    other = engine.schedule_at(2.0, lambda: fired.append(2))
+    event.cancel()
+    event.cancel()  # idempotent
+    assert engine.cancelled_pending == 1
+    engine.run_until_idle()
+    assert fired == [2]
+    # Cancelling an event that already ran must not corrupt the counter.
+    other.cancel()
+    assert engine.cancelled_pending == 0
+    assert engine.pending_events == 0
+
+
+def test_compaction_preserves_daemon_idle_semantics():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule_at(5.0, lambda: fired.append("work"))
+    daemons = [
+        engine.schedule_at(100.0 + index, lambda: fired.append("daemon"), daemon=True)
+        for index in range(100)
+    ]
+    for daemon in daemons:
+        daemon.cancel()
+    engine.run_until_idle()
+    # The sole non-daemon event ran; the engine went idle without waiting
+    # on the cancelled daemons.
+    assert fired == ["work"]
+
+
 def test_run_until_horizon_advances_clock_to_horizon():
     engine = SimulationEngine()
     engine.schedule_at(1.0, lambda: None)
