@@ -16,6 +16,7 @@ Module           Reproduces
 ``ablation_concurrency``  In-flight submission depth sweep (futures API)
 ``ablation_sharding``  Channel shards vs throughput + tenant fair-sharing
 ``perf``             Wall-clock simulated-tx/s of the hot paths (BENCH_PERF.json)
+``fleet``            Parallel vs sequential fleet executor (speedup + anchor)
 ===============  ==========================================================
 
 Run ``python -m repro.bench <experiment>`` or use the pytest-benchmark
@@ -39,6 +40,7 @@ from repro.bench.ablation_sharding import (
     run_sharding_ablation,
 )
 from repro.bench.perf import run_perf
+from repro.bench.fleet import run_fleet
 from repro.bench.resource_usage import run_resource_usage
 
 __all__ = [
@@ -61,5 +63,6 @@ __all__ = [
     "run_sharding_ablation",
     "run_fairness_comparison",
     "run_perf",
+    "run_fleet",
     "run_resource_usage",
 ]

@@ -23,6 +23,12 @@ from repro.bench import (
     run_resource_usage,
     run_sharding_ablation,
 )
+from repro.bench.fleet import (
+    check_fleet_anchor,
+    run_fleet,
+    shard_stats_table,
+    write_fleet_entry,
+)
 from repro.bench.perf import PerfRegressionError, check_regression_data, write_report
 from repro.bench.ops_table import stage_table as ops_stage_table
 from repro.bench.ops_table import to_table as ops_to_table
@@ -181,10 +187,18 @@ def _run_perf(args: argparse.Namespace) -> str:
         repeats=args.perf_repeats,
     )
     output = Path(args.perf_output)
-    write_report(report, output)
+    document = write_report(report, output)
     table = report.to_table()
     table.add_note(f"written to {output}")
     rendered = table.render()
+    # Per-shard utilization/stall of the committed fleet runs rides along
+    # so lookahead regressions stay visible from the perf entry point too.
+    for profile, entry in sorted(document.get("fleet", {}).items()):
+        stats = entry.get("shard_stats") or []
+        if stats:
+            rendered += "\n\n" + shard_stats_table(
+                stats, f"committed fleet {profile} — per-shard wall-clock"
+            ).render()
     if baseline_data is not None:
         try:
             failures = check_regression_data(
@@ -207,6 +221,50 @@ def _run_perf(args: argparse.Namespace) -> str:
     return rendered
 
 
+def _run_fleet(args: argparse.Namespace) -> str:
+    import json
+
+    # Same load-before-write discipline as _run_perf: with the default
+    # --perf-output the baseline and the output are the same file.
+    baseline_data = None
+    if args.perf_baseline:
+        baseline = Path(args.perf_baseline)
+        try:
+            baseline_data = json.loads(baseline.read_text())
+        except (OSError, ValueError) as exc:
+            raise PerfRegressionError(
+                f"fleet baseline {baseline} is unreadable: {exc!r}"
+            ) from exc
+
+    report = run_fleet(
+        devices=args.fleet_devices,
+        shards=args.fleet_shards,
+        workers=args.workers,
+        duration_s=args.fleet_duration,
+    )
+    output = Path(args.perf_output)
+    write_fleet_entry(report, output)
+    table = report.to_table()
+    table.add_note(f"written to {output} (fleet/{report.profile})")
+    stats = shard_stats_table(
+        [s for s in report.to_dict()["shard_stats"]],
+        f"fleet {report.profile} — per-shard wall-clock (parallel run)",
+    )
+    rendered = "\n\n".join([table.render(), stats.render()])
+    if baseline_data is not None:
+        failures = check_fleet_anchor(report, baseline_data)
+        if failures:
+            raise PerfRegressionError(
+                f"fleet determinism gate vs {args.perf_baseline}:\n"
+                + "\n".join(f"  - {f}" for f in failures)
+            )
+        rendered += (
+            f"\nfleet gate: determinism anchor matches {args.perf_baseline} "
+            f"(profile {report.profile})"
+        )
+    return rendered
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -220,6 +278,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "ablation-fastfabric": _run_fastfabric,
     "ablation-sharding": _run_sharding,
     "perf": _run_perf,
+    "fleet": _run_fleet,
     "resources": _run_resources,
 }
 
@@ -317,6 +376,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf-tolerance", type=float, default=3.0,
         help="allowed slowdown factor vs the baseline before the perf gate "
              "fails (default: 3.0)",
+    )
+    fleet = parser.add_argument_group(
+        "fleet", "parallel fleet configuration for the fleet experiment "
+                 "(shares --perf-output/--perf-baseline; the baseline gate "
+                 "checks the determinism anchor, not throughput)"
+    )
+    fleet.add_argument(
+        "--fleet-devices", type=_positive_int, default=10_000,
+        help="IoT devices posting metadata in the fleet run (default: 10000)",
+    )
+    fleet.add_argument(
+        "--fleet-shards", type=_positive_int, default=4,
+        help="channel shards (= fleet sites) the devices spread over "
+             "(default: 4)",
+    )
+    fleet.add_argument(
+        "--workers", type=_positive_int, default=4,
+        help="worker processes for the parallel executor, clamped to the "
+             "shard count; 1 runs the windowed protocol inline "
+             "(default: 4)",
+    )
+    fleet.add_argument(
+        "--fleet-duration", type=float, default=200.0,
+        help="virtual seconds of fleet traffic per run (default: 200)",
     )
     return parser
 

@@ -99,6 +99,22 @@ class EventBus:
             raise errors[0]
         return delivered
 
+    def publish_batch(self, topic: str, payloads: List[Any]) -> int:
+        """Deliver a whole window of payloads as **one** handler invocation.
+
+        The batched form of :meth:`publish`: handlers subscribed to
+        ``topic`` receive the payload *list* in a single call instead of
+        one call per payload.  This is the commit-delivery coalescing the
+        parallel executor relies on — per-block notification fan-out is
+        buffered and handed over once per barrier window, so subscriber
+        dispatch cost is paid per window, not per block.
+
+        An empty batch is a no-op (nothing is published, no handler runs).
+        """
+        if not payloads:
+            return 0
+        return self.publish(topic, payloads)
+
     def topics(self) -> List[str]:
         """Topics that currently have at least one subscriber."""
         return sorted(topic for topic, subs in self._handlers.items() if subs)

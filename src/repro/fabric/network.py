@@ -68,6 +68,14 @@ class FabricNetworkConfig:
     #: Endorsed envelopes coalesced into one orderer submission (1 = off,
     #: reproducing the unbatched per-transaction transfer exactly).
     order_batch_size: int = 1
+    #: Batched commit delivery: complete handles through a tx-indexed lookup
+    #: (O(block txs) instead of a scan over every registered client) and
+    #: buffer per-block ``block_delivered``/chaincode-event fan-out until
+    #: :meth:`FabricNetwork.flush_commit_events` publishes the whole window
+    #: as one ``commit_batch`` callback.  Virtual-time results are identical
+    #: to the per-block path — only wall-clock cost and event granularity
+    #: change.  This is the delivery mode the parallel shard workers run.
+    batch_commit_delivery: bool = False
 
 
 @dataclass
@@ -101,6 +109,12 @@ class ChannelShard:
     #: Every block this shard's ordering service produced, in order.  Used
     #: to bring peers that missed deliveries (partitions) back up to date.
     ordered_blocks: List[Block] = field(default_factory=list)
+    #: Shard-private transaction-id namespace.  ``None`` uses the network's
+    #: global ``tx-N`` counter; fleet shards get their own namespace so a
+    #: shard mints the same ids whether it runs alone in a worker process
+    #: or next to its siblings on one engine (tx-id length feeds proposal
+    #: ``size_bytes``, so ids must match for virtual times to match).
+    tx_ids: Optional[DeterministicIdGenerator] = None
 
 
 class FabricNetwork:
@@ -130,6 +144,14 @@ class FabricNetwork:
         self._clients: Dict[str, _ClientContext] = {}
         self._tx_ids = DeterministicIdGenerator("tx")
         self._shards: List[ChannelShard] = []
+        #: tx-id → owning client context, maintained only under
+        #: ``batch_commit_delivery`` so block commits complete handles with
+        #: an O(block txs) lookup instead of scanning every registered
+        #: client (the dominant wall-clock cost at fleet scale).
+        self._pending_index: Dict[str, _ClientContext] = {}
+        #: Per-shard commit notifications buffered until the next
+        #: :meth:`flush_commit_events` (barrier-window boundary).
+        self._commit_buffers: Dict[int, List[Dict]] = {}
         #: Per-tenant fair-share weights the deployment was built with;
         #: ``set_scheduler`` falls back to these so a policy swap through
         #: a PipelineConfig does not silently reset custom weights.
@@ -273,7 +295,7 @@ class FabricNetwork:
         if host not in self.network.nodes:
             self.network.register_node(host, profile=device.profile.nic)
         anchor = anchor_peer or sorted(self._shards[0].peers)[0]
-        if anchor not in self._shards[0].peers:
+        if not any(anchor in shard.peers for shard in self._shards):
             raise NotFoundError(f"anchor peer {anchor!r} is not part of the network")
         self._clients[name] = _ClientContext(
             name=name,
@@ -338,7 +360,7 @@ class FabricNetwork:
         target = self.shard(shard)
         start = self.engine.now if at_time is None else at_time
         if at_time is not None and at_time > self.engine.now:
-            handle = self._make_handle(start, function)
+            handle = self._make_handle(start, function, target)
             self.engine.schedule_at(
                 at_time,
                 lambda: self._run_invoke(
@@ -347,16 +369,45 @@ class FabricNetwork:
                 label=f"submit:{handle.tx_id}",
             )
             return handle
-        handle = self._make_handle(start, function)
+        handle = self._make_handle(start, function, target)
         self._run_invoke(
             context, chaincode, function, args, handle, payload_size_bytes, target
         )
         return handle
 
-    def _make_handle(self, submitted_at: float, function: str) -> TransactionHandle:
+    def _make_handle(
+        self,
+        submitted_at: float,
+        function: str,
+        shard: Optional[ChannelShard] = None,
+    ) -> TransactionHandle:
+        ids = shard.tx_ids if shard is not None and shard.tx_ids is not None else self._tx_ids
         return TransactionHandle(
-            tx_id=self._tx_ids.next(), submitted_at=submitted_at, function=function
+            tx_id=ids.next(), submitted_at=submitted_at, function=function
         )
+
+    def set_tx_namespace(self, shard: int, namespace: str) -> None:
+        """Give one shard its own transaction-id namespace.
+
+        Shard-disjoint deployments (the fleet topology) use this so each
+        shard's id sequence is independent of its siblings' submission
+        interleaving — a prerequisite for running the shard alone in a
+        worker process and still minting byte-identical transactions.
+        """
+        self.shard(shard).tx_ids = DeterministicIdGenerator(namespace)
+
+    def register_pending(
+        self, context: _ClientContext, handle: TransactionHandle
+    ) -> None:
+        """Record a handle awaiting its anchor-peer commit.
+
+        The await-commit stage routes registrations through here so that,
+        under ``batch_commit_delivery``, the network can also maintain the
+        tx-id → client index that replaces the per-block client scan.
+        """
+        context.pending[handle.tx_id] = handle
+        if self.config.batch_commit_delivery:
+            self._pending_index[handle.tx_id] = context
 
     def _build_proposal(
         self,
@@ -537,6 +588,15 @@ class FabricNetwork:
             commit_results[peer.name] = peer.deliver_block(block, arrivals[peer.name])
 
         self.metrics.counter("blocks_delivered").inc()
+        if self.config.batch_commit_delivery:
+            # Handles still complete *now*, at the same virtual times as
+            # the per-block path; only the observer fan-out is deferred to
+            # the next flush_commit_events() window.
+            self._commit_buffers.setdefault(shard_index, []).append(
+                {"block": block, "commits": commit_results, "shard": shard_index}
+            )
+            self._complete_handles_indexed(block, commit_results)
+            return
         self._publish(
             shard,
             "block_delivered",
@@ -592,22 +652,106 @@ class FabricNetwork:
                 handle = context.pending.pop(tx.tx_id, None)
                 if handle is None:
                     continue
-                code = result.validation_codes[position]
-                # Commit event reaches the client over the network.
-                notify = self.network.estimate_transfer_time(
-                    context.anchor_peer, context.host_node, 512
-                )
-                handle.timings["commit_notify_s"] = notify
-                handle.complete(
-                    result.committed_at + notify,
-                    code,
-                    block_number=result.block_number,
-                )
-                if code is TxValidationCode.VALID:
-                    self.metrics.counter("txs_committed").inc()
-                else:
-                    self.metrics.counter("txs_invalidated").inc()
-                self.metrics.histogram("tx_latency_s").observe(handle.latency_s)
+                self._finish_handle(context, handle, result, position)
+
+    def _complete_handles_indexed(
+        self, block: Block, commit_results: Dict[str, CommitResult]
+    ) -> None:
+        """Complete handles via the tx-id index (batch_commit_delivery mode).
+
+        O(block txs) instead of O(clients × block txs).  Completion draws
+        (the anchor→host commit-notify transfer) happen in block-tx order
+        per client link, exactly as the scan does for any deployment where
+        clients have private host nodes, so virtual times are unchanged.
+        """
+        for position, tx in enumerate(block.transactions):
+            context = self._pending_index.get(tx.tx_id)
+            if context is None:
+                continue
+            result = commit_results.get(context.anchor_peer)
+            if result is None:
+                # Anchor peer missed this delivery (partition); leave the
+                # handle pending, matching the per-block scan's behaviour.
+                continue
+            del self._pending_index[tx.tx_id]
+            handle = context.pending.pop(tx.tx_id)
+            self._finish_handle(context, handle, result, position)
+
+    def _finish_handle(
+        self,
+        context: _ClientContext,
+        handle: TransactionHandle,
+        result: CommitResult,
+        position: int,
+    ) -> None:
+        code = result.validation_codes[position]
+        # Commit event reaches the client over the network.
+        notify = self.network.estimate_transfer_time(
+            context.anchor_peer, context.host_node, 512
+        )
+        handle.timings["commit_notify_s"] = notify
+        handle.complete(
+            result.committed_at + notify,
+            code,
+            block_number=result.block_number,
+        )
+        if code is TxValidationCode.VALID:
+            self.metrics.counter("txs_committed").inc()
+        else:
+            self.metrics.counter("txs_invalidated").inc()
+        self.metrics.histogram("tx_latency_s").observe(handle.latency_s)
+
+    def flush_commit_events(self, shard: Optional[int] = None) -> int:
+        """Publish buffered commit notifications as one batch per stream.
+
+        Under ``batch_commit_delivery`` every ordered block appends one
+        entry (block, per-peer commits, shard) to its shard's buffer; this
+        drains the buffer of one shard (or all of them) into a single
+        ``commit_batch`` publish, plus one ``chaincode_event_batch:{name}``
+        publish per distinct event name.  The parallel executor calls this
+        at each barrier-window boundary.  Returns the number of block
+        entries flushed.
+        """
+        indices = [shard] if shard is not None else sorted(self._commit_buffers)
+        flushed = 0
+        for index in indices:
+            entries = self._commit_buffers.pop(index, [])
+            if not entries:
+                continue
+            target = self.shard(index)
+            events_by_name: Dict[str, List[Dict]] = {}
+            for entry in entries:
+                commits = entry["commits"]
+                if not commits:
+                    continue
+                block = entry["block"]
+                reference = next(iter(commits.values()))
+                for tx, code in zip(block.transactions, reference.validation_codes):
+                    if code is TxValidationCode.VALID and tx.chaincode_event is not None:
+                        event_name, event_payload = tx.chaincode_event
+                        events_by_name.setdefault(event_name, []).append(
+                            {
+                                "tx_id": tx.tx_id,
+                                "name": event_name,
+                                "payload": event_payload,
+                                "block_number": block.number,
+                                "shard": index,
+                            }
+                        )
+            target.events.publish_batch("commit_batch", entries)
+            self.events.publish_batch("commit_batch", entries)
+            for event_name in sorted(events_by_name):
+                payloads = events_by_name[event_name]
+                topic = f"chaincode_event_batch:{event_name}"
+                target.events.publish_batch(topic, payloads)
+                self.events.publish_batch(topic, payloads)
+            flushed += len(entries)
+        return flushed
+
+    @property
+    def buffered_commit_events(self) -> int:
+        """Block entries awaiting the next :meth:`flush_commit_events`."""
+        return sum(len(entries) for entries in self._commit_buffers.values())
 
     # ---------------------------------------------------------------- query
     def query(
@@ -631,7 +775,7 @@ class FabricNetwork:
         peer = target.peers.get(target_name)
         if peer is None:
             raise NotFoundError(f"unknown peer {target_name!r} on shard {shard}")
-        handle = self._make_handle(start, function)
+        handle = self._make_handle(start, function, target)
         proposal = self._build_proposal(
             context, handle, chaincode, function, args, 0,
             channel_name=target.channel.name,
@@ -670,6 +814,8 @@ class FabricNetwork:
             self.engine.run_until_idle(max_events=max_events)
             if not any(shard.batcher.queued for shard in self._shards):
                 break
+        if self.config.batch_commit_delivery:
+            self.flush_commit_events()
 
     def ledger_heights(self) -> Dict[str, int]:
         """Per-peer block height summed across every hosted channel.

@@ -17,6 +17,10 @@ from repro.middleware.context import Context
 PROVENANCE_RECORDED_TOPIC = "chaincode_event:provenance_recorded"
 #: Topic carrying whole delivered blocks (covers deletes and foreign writes).
 BLOCK_DELIVERED_TOPIC = "block_delivered"
+#: Batched counterparts published once per barrier window when the network
+#: runs with ``batch_commit_delivery`` (the parallel executor's mode).
+PROVENANCE_RECORDED_BATCH_TOPIC = "chaincode_event_batch:provenance_recorded"
+COMMIT_BATCH_TOPIC = "commit_batch"
 
 #: Read functions whose first argument names the single key they depend on
 #: (the Fabric chaincode's read set plus the baselines' ``get``/``history``).
@@ -144,11 +148,14 @@ class ReadCacheMiddleware(Middleware):
             self.attach(events)
 
     # -------------------------------------------------------------- wiring
-    def attach(self, events: EventBus) -> None:
+    def attach(self, events: EventBus, batched: bool = False) -> None:
         """Subscribe to one bus whose commit events invalidate entries.
 
         May be called several times — once per shard event stream on a
-        multi-channel network.
+        multi-channel network.  ``batched=True`` additionally subscribes to
+        the window-batched commit topics, so invalidation keeps working when
+        the network defers per-block fan-out to barrier-window flushes
+        (``batch_commit_delivery`` / the ``parallel`` pipeline knob).
         """
         self._subscriptions.append(
             events.subscribe(PROVENANCE_RECORDED_TOPIC, self._on_provenance_recorded)
@@ -156,6 +163,15 @@ class ReadCacheMiddleware(Middleware):
         self._subscriptions.append(
             events.subscribe(BLOCK_DELIVERED_TOPIC, self._on_block_delivered)
         )
+        if batched:
+            self._subscriptions.append(
+                events.subscribe(
+                    PROVENANCE_RECORDED_BATCH_TOPIC, self._on_provenance_batch
+                )
+            )
+            self._subscriptions.append(
+                events.subscribe(COMMIT_BATCH_TOPIC, self._on_commit_batch)
+            )
 
     def close(self) -> None:
         for subscription in self._subscriptions:
@@ -239,6 +255,14 @@ class ReadCacheMiddleware(Middleware):
                 continue
             for write in rw_set.writes:
                 self.invalidate_key(write.key)
+
+    def _on_provenance_batch(self, topic: str, payloads: Any) -> None:
+        for payload in payloads if isinstance(payloads, list) else []:
+            self._on_provenance_recorded(topic, payload)
+
+    def _on_commit_batch(self, topic: str, entries: Any) -> None:
+        for entry in entries if isinstance(entries, list) else []:
+            self._on_block_delivered(topic, entry)
 
     # -------------------------------------------------------- introspection
     def __len__(self) -> int:

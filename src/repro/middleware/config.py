@@ -66,6 +66,12 @@ class PipelineConfig:
     #: Back the read cache with the deployment's shared cache tier instead
     #: of a pipeline-private store (needs ``cache=True`` to matter).
     shared_cache: bool = False
+    #: The pipeline targets a network running batched commit delivery (the
+    #: parallel executor's mode): commit-driven middlewares — today the
+    #: read cache — additionally subscribe to the window-batched topics
+    #: (``commit_batch`` and ``chaincode_event_batch:*``) so invalidation
+    #: keeps working when per-block fan-out is deferred to barrier flushes.
+    parallel: bool = False
 
     def __post_init__(self) -> None:
         if self.retry_attempts < 1:
@@ -170,12 +176,15 @@ def build_client_middlewares(
         cache = ReadCacheMiddleware(
             capacity=config.cache_capacity,
             hit_latency_s=config.cache_hit_latency_s,
-            events=None if cache_events is not None else events,
+            events=None,
             metrics=metrics,
             store=shared_cache_store if config.shared_cache else None,
         )
-        for bus in cache_events or []:
-            cache.attach(bus)
+        if cache_events is not None:
+            for bus in cache_events:
+                cache.attach(bus, batched=config.parallel)
+        elif events is not None:
+            cache.attach(events, batched=config.parallel)
         middlewares.append(cache)
     if config.shards > 1:
         middlewares.append(ShardRouterMiddleware(config.shards, metrics=metrics))

@@ -193,5 +193,5 @@ class AwaitCommitStage(FabricStage):
 
     def handle(self, ctx: Context, call_next: Handler) -> Any:
         state = self.state(ctx)
-        state.client_context.pending[state.handle.tx_id] = state.handle
+        self.fabric.register_pending(state.client_context, state.handle)
         return call_next(ctx)

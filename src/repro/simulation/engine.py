@@ -20,6 +20,42 @@ from repro.simulation.clock import VirtualClock
 EventCallback = Callable[[], None]
 
 
+class RunOutcome(int):
+    """Event count returned by :meth:`SimulationEngine.run`, plus *why* it
+    stopped.
+
+    Behaves exactly like the historical ``int`` return value (equality,
+    arithmetic, formatting), with a :attr:`stop_reason` so harnesses can
+    tell a drained queue from a truncated run — fleet-scale benches use
+    this to fail loudly instead of silently under-counting commits.
+
+    Stop reasons:
+
+    ``"idle"``
+        The queue emptied, or only daemon events remained.
+    ``"cap"``
+        ``max_events`` was reached with live events still queued.
+    ``"horizon"``
+        The ``until`` horizon was reached with later events still queued.
+    """
+
+    #: Why the run loop returned; one of ``"idle"``, ``"cap"``, ``"horizon"``.
+    stop_reason: str
+
+    def __new__(cls, executed: int, stop_reason: str) -> "RunOutcome":
+        outcome = super().__new__(cls, executed)
+        outcome.stop_reason = stop_reason
+        return outcome
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the run stopped on the event cap rather than naturally."""
+        return self.stop_reason == "cap"
+
+    def __repr__(self) -> str:
+        return f"RunOutcome({int(self)}, stop_reason={self.stop_reason!r})"
+
+
 @dataclass(order=True)
 class Event:
     """A callback scheduled at an absolute virtual timestamp.
@@ -221,17 +257,24 @@ class SimulationEngine:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> RunOutcome:
         """Run events until the queue empties, ``until`` is reached, or
-        ``max_events`` have been executed.  Returns the number of events run.
+        ``max_events`` have been executed.
+
+        Returns a :class:`RunOutcome` — the number of events run (an ``int``
+        for all existing callers) tagged with why the loop stopped.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
         executed = 0
+        stop_reason = "idle"
         try:
             while self._queue:
                 if max_events is not None and executed >= max_events:
+                    stop_reason = "cap"
                     break
                 head = self._queue[0]
                 if head.cancelled:
@@ -242,6 +285,7 @@ class SimulationEngine:
                     self._cancelled_queued -= 1
                     continue
                 if until is not None and head.timestamp > until:
+                    stop_reason = "horizon"
                     break
                 if until is None and self._pending_non_daemon() == 0:
                     # Only daemon events (heartbeats, timers) remain; without a
@@ -256,13 +300,13 @@ class SimulationEngine:
                 self.clock.advance_to(until)
         finally:
             self._running = False
-        return executed
+        return RunOutcome(executed, stop_reason)
 
-    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+    def run_until_idle(self, max_events: int = 1_000_000) -> RunOutcome:
         """Drain the event queue; guards against runaway self-rescheduling."""
-        executed = self.run(max_events=max_events)
-        if self._queue and executed >= max_events:
+        outcome = self.run(max_events=max_events)
+        if self._queue and outcome.truncated:
             raise SimulationError(
                 f"simulation did not converge within {max_events} events"
             )
-        return executed
+        return outcome

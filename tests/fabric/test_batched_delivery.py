@@ -1,0 +1,71 @@
+"""Batched commit delivery: buffering, window flushes, virtual-time parity."""
+
+from repro.consensus.batching import BatchConfig
+from repro.workloads.fleet import (
+    FleetSpec,
+    build_fleet,
+    commit_log_lines,
+    submit_fleet,
+)
+
+
+def tiny_spec(**overrides) -> FleetSpec:
+    base = dict(
+        devices=20, shards=2, rate_per_device_s=0.1, duration_s=30.0,
+        seed=5, batch_config=BatchConfig(max_message_count=1),
+    )
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def run_mode(batch_commit_delivery: bool):
+    deployment = build_fleet(tiny_spec(), batch_commit_delivery=batch_commit_delivery)
+    submit_fleet(deployment)
+    deployment.drain()
+    return deployment
+
+
+class TestBatchedCommitDelivery:
+    def test_virtual_time_identical_to_per_block_path(self):
+        scan = run_mode(batch_commit_delivery=False)
+        indexed = run_mode(batch_commit_delivery=True)
+        for site in scan.sites:
+            assert commit_log_lines(indexed, site) == commit_log_lines(scan, site)
+
+    def test_commit_batch_published_per_flush_not_per_block(self):
+        deployment = build_fleet(tiny_spec(), batch_commit_delivery=True)
+        batches = []
+        deployment.fabric.events.subscribe(
+            "commit_batch", lambda _topic, entries: batches.append(entries)
+        )
+        submit_fleet(deployment)
+        deployment.drain()  # flush_and_drain flushes once at the end
+        blocks = sum(len(entries) for entries in batches)
+        assert blocks > 1
+        # One batch per shard buffer, not one publish per block.
+        assert len(batches) <= deployment.spec.shards
+        assert all(isinstance(entries, list) for entries in batches)
+
+    def test_buffer_drains_on_flush(self):
+        deployment = build_fleet(tiny_spec(), batch_commit_delivery=True)
+        submit_fleet(deployment)
+        deployment.engine.run(until=15.0)
+        assert deployment.fabric.buffered_commit_events > 0
+        flushed = deployment.fabric.flush_commit_events()
+        assert flushed > 0
+        assert deployment.fabric.buffered_commit_events == 0
+        # Flushing an empty buffer is a no-op.
+        assert deployment.fabric.flush_commit_events() == 0
+
+    def test_chaincode_event_batches_grouped_by_name(self):
+        deployment = build_fleet(tiny_spec(), batch_commit_delivery=True)
+        received = []
+        deployment.fabric.events.subscribe(
+            "chaincode_event_batch:provenance_recorded",
+            lambda _topic, payloads: received.extend(payloads),
+        )
+        submit_fleet(deployment)
+        deployment.drain()
+        assert received
+        assert all(event["name"] == "provenance_recorded" for event in received)
+        assert all("tx_id" in event and "block_number" in event for event in received)

@@ -1,0 +1,91 @@
+"""``PipelineConfig.parallel``: cache invalidation under batched delivery."""
+
+from types import SimpleNamespace
+
+from repro.common.events import EventBus
+from repro.middleware.base import TransactionPipeline
+from repro.middleware.cache import ReadCacheMiddleware
+from repro.middleware.config import (
+    PipelineConfig,
+    build_client_middlewares,
+)
+from repro.middleware.context import Context, OperationKind
+
+
+def read_ctx(key: str) -> Context:
+    return Context(
+        operation="get",
+        kind=OperationKind.READ,
+        chaincode="hyperprov",
+        function="get",
+        args=[key],
+    )
+
+
+def fake_block(*keys: str) -> SimpleNamespace:
+    writes = [SimpleNamespace(key=key) for key in keys]
+    transaction = SimpleNamespace(rw_set=SimpleNamespace(writes=writes))
+    return SimpleNamespace(transactions=[transaction], number=1)
+
+
+def prime(cache_pipeline: TransactionPipeline, key: str) -> None:
+    cache_pipeline.execute(read_ctx(key))
+
+
+class TestParallelKnob:
+    def test_round_trips_through_dict(self):
+        config = PipelineConfig(parallel=True)
+        assert PipelineConfig.from_dict(config.to_dict()).parallel is True
+        assert PipelineConfig().parallel is False
+
+    def test_batched_chaincode_events_invalidate_cache(self):
+        bus = EventBus()
+        middlewares = build_client_middlewares(
+            PipelineConfig(cache=True, parallel=True, tracing=False, metrics=False),
+            events=bus,
+        )
+        cache = next(m for m in middlewares if isinstance(m, ReadCacheMiddleware))
+        pipeline = TransactionPipeline(middlewares, terminal=lambda ctx: ("v", 0.1))
+        prime(pipeline, "k1")
+        assert len(cache) == 1
+        bus.publish_batch(
+            "chaincode_event_batch:provenance_recorded", [{"key": "k1"}]
+        )
+        assert len(cache) == 0
+
+    def test_commit_batch_entries_invalidate_cache(self):
+        bus = EventBus()
+        middlewares = build_client_middlewares(
+            PipelineConfig(cache=True, parallel=True, tracing=False, metrics=False),
+            events=bus,
+        )
+        cache = next(m for m in middlewares if isinstance(m, ReadCacheMiddleware))
+        pipeline = TransactionPipeline(middlewares, terminal=lambda ctx: ("v", 0.1))
+        prime(pipeline, "k2")
+        assert len(cache) == 1
+        bus.publish_batch("commit_batch", [{"block": fake_block("k2"), "shard": 0}])
+        assert len(cache) == 0
+
+    def test_default_pipeline_ignores_batched_topics(self):
+        bus = EventBus()
+        middlewares = build_client_middlewares(
+            PipelineConfig(cache=True, tracing=False, metrics=False), events=bus
+        )
+        cache = next(m for m in middlewares if isinstance(m, ReadCacheMiddleware))
+        pipeline = TransactionPipeline(middlewares, terminal=lambda ctx: ("v", 0.1))
+        prime(pipeline, "k3")
+        bus.publish_batch("commit_batch", [{"block": fake_block("k3"), "shard": 0}])
+        # Not attached to the batched topic: the entry survives (and the
+        # per-block topics still invalidate as before).
+        assert len(cache) == 1
+        bus.publish("block_delivered", {"block": fake_block("k3")})
+        assert len(cache) == 0
+
+    def test_publish_batch_empty_is_noop(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("commit_batch", lambda _t, payload: seen.append(payload))
+        assert bus.publish_batch("commit_batch", []) == 0
+        assert seen == []
+        assert bus.publish_batch("commit_batch", [1, 2]) == 1
+        assert seen == [[1, 2]]

@@ -1,0 +1,69 @@
+"""``SimulationEngine.run`` reports *why* it stopped (cap vs idle vs horizon)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation.engine import RunOutcome, SimulationEngine
+
+
+def schedule_chain(engine: SimulationEngine, count: int, spacing: float = 1.0):
+    for index in range(count):
+        engine.schedule_at(index * spacing, lambda: None, label=f"e{index}")
+
+
+class TestRunOutcome:
+    def test_idle_when_queue_drains(self):
+        engine = SimulationEngine()
+        schedule_chain(engine, 3)
+        outcome = engine.run()
+        assert outcome == 3
+        assert outcome.stop_reason == "idle"
+        assert not outcome.truncated
+
+    def test_cap_when_max_events_reached(self):
+        engine = SimulationEngine()
+        schedule_chain(engine, 5)
+        outcome = engine.run(max_events=2)
+        assert outcome == 2
+        assert outcome.stop_reason == "cap"
+        assert outcome.truncated
+
+    def test_horizon_when_later_events_remain(self):
+        engine = SimulationEngine()
+        schedule_chain(engine, 5, spacing=10.0)
+        outcome = engine.run(until=15.0)
+        assert outcome == 2
+        assert outcome.stop_reason == "horizon"
+        assert not outcome.truncated
+        assert engine.now == 15.0
+
+    def test_horizon_past_last_event_reports_idle(self):
+        engine = SimulationEngine()
+        schedule_chain(engine, 2, spacing=1.0)
+        outcome = engine.run(until=100.0)
+        assert outcome.stop_reason == "idle"
+        assert engine.now == 100.0
+
+    def test_behaves_like_the_historical_int(self):
+        outcome = RunOutcome(7, "idle")
+        assert outcome == 7
+        assert outcome + 1 == 8
+        assert int(outcome) == 7
+        assert "stop_reason='idle'" in repr(outcome)
+
+    def test_run_until_idle_returns_outcome(self):
+        engine = SimulationEngine()
+        schedule_chain(engine, 4)
+        outcome = engine.run_until_idle()
+        assert isinstance(outcome, RunOutcome)
+        assert outcome.stop_reason == "idle"
+
+    def test_run_until_idle_still_raises_on_runaway(self):
+        engine = SimulationEngine()
+
+        def reschedule():
+            engine.schedule_in(1.0, reschedule)
+
+        engine.schedule_in(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run_until_idle(max_events=10)
