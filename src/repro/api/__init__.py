@@ -23,6 +23,7 @@ from repro.api.protocol import (
     HistoryEntryView,
     HistoryView,
     ProvenanceStore,
+    QueryPage,
     RecordView,
     StoreReceipt,
     StoreRequest,
@@ -38,6 +39,7 @@ __all__ = [
     "HistoryView",
     "HistoryEntryView",
     "VerifyResult",
+    "QueryPage",
     "StoreReceipt",
     "SubmitHandle",
     "HyperProvStore",

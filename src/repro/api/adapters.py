@@ -10,7 +10,7 @@ methods shrink to deprecated shims without double-dispatching.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from repro.baselines.centraldb import CentralProvenanceDatabase
 from repro.baselines.provchain import PowProvenanceChain
@@ -20,6 +20,7 @@ from repro.common.hashing import checksum_of
 from repro.api.protocol import (
     HistoryEntryView,
     HistoryView,
+    QueryPage,
     RecordView,
     StoreRequest,
     SubmitHandle,
@@ -46,6 +47,30 @@ class _StoreBase:
     def drain(self) -> None:
         """Synchronous backends have nothing in flight."""
 
+    def query(
+        self,
+        selector: Dict[str, Any],
+        at_time: Optional[float] = None,
+        limit: Optional[int] = None,
+        bookmark: Optional[str] = None,
+        explain: bool = False,
+    ) -> QueryPage:
+        """Rich queries need a selector-capable backend (HyperProv only)."""
+        raise ConfigurationError(
+            f"the {self.backend_name} backend does not support rich queries"
+        )
+
+    def subscribe(
+        self,
+        selector: Dict[str, Any],
+        callback: Optional[Callable[[Dict[str, Any]], None]] = None,
+        tenant: Optional[str] = None,
+    ) -> Any:
+        """Continuous queries need a commit stream (HyperProv only)."""
+        raise ConfigurationError(
+            f"the {self.backend_name} backend does not support continuous queries"
+        )
+
     def close(self) -> None:
         pipeline = getattr(getattr(self, "backend", None), "pipeline", None)
         if pipeline is not None:
@@ -67,6 +92,9 @@ class HyperProvStore(_StoreBase):
         # ``Any`` instead of HyperProvClient: the client imports this
         # module lazily (as_store), a type import would be circular.
         self.client = client
+        #: Lazily created continuous-query registry on the network's
+        #: aggregate commit stream (see :meth:`subscribe`).
+        self._query_registry: Optional[Any] = None
 
     # -------------------------------------------------------------- attrs
     @property
@@ -142,6 +170,50 @@ class HyperProvStore(_StoreBase):
         query = self.client._check_hash_impl(key, data_or_checksum, at_time=at_time)
         return VerifyResult(key=key, matches=bool(query.payload), latency_s=query.latency_s)
 
+    def query(
+        self,
+        selector: Dict[str, Any],
+        at_time: Optional[float] = None,
+        limit: Optional[int] = None,
+        bookmark: Optional[str] = None,
+        explain: bool = False,
+    ) -> QueryPage:
+        result = self.client.query_records(
+            selector,
+            at_time=at_time,
+            limit=limit,
+            bookmark=bookmark,
+            explain=explain,
+        )
+        records = tuple(
+            RecordView.from_record(row["record"]) for row in result.payload
+        )
+        return QueryPage(
+            records=records,
+            bookmark=result.bookmark,
+            plan=result.plan,
+            latency_s=result.latency_s,
+        )
+
+    def subscribe(
+        self,
+        selector: Dict[str, Any],
+        callback: Optional[Callable[[Dict[str, Any]], None]] = None,
+        tenant: Optional[str] = None,
+    ) -> Any:
+        """Register a standing selector on the deployment's commit stream.
+
+        The registry attaches to the network's *aggregate* event bus, so
+        it observes every shard's commits regardless of how the router
+        spread the writes.  It is created on first use and torn down with
+        the store (``close``), cancelling every outstanding registration.
+        """
+        if self._query_registry is None:
+            from repro.query.continuous import ContinuousQueryRegistry
+
+            self._query_registry = ContinuousQueryRegistry(self.client.network.events)
+        return self._query_registry.register(selector, callback=callback, tenant=tenant)
+
     def audit(self) -> bool:
         """Every peer's block chain verifies and all heights agree."""
         peers = self.client.network.peers
@@ -153,6 +225,12 @@ class HyperProvStore(_StoreBase):
     # ------------------------------------------------------------ lifecycle
     def drain(self) -> None:
         self.client.network.flush_and_drain()
+
+    def close(self) -> None:
+        if self._query_registry is not None:
+            self._query_registry.close()
+            self._query_registry = None
+        super().close()
 
 
 class CentralDbStore(_StoreBase):

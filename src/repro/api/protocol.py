@@ -17,6 +17,10 @@ Call           Meaning
 ``get``        Latest record for a key as a :class:`RecordView`.
 ``history``    Every recorded version, oldest first (:class:`HistoryView`).
 ``verify``     Check data (or a checksum) against the stored record.
+``query``      Rich query over record fields (:class:`QueryPage`), with
+               optional limit/bookmark pagination and plan explanation.
+``subscribe``  Standing commit-fed selector (continuous query); matching
+               committed records are pushed as they commit.
 ``audit``      Backend-wide integrity check (hash chain / ledger heights);
                this is where tamper *evidence* shows up — or doesn't, for
                the central database.
@@ -146,6 +150,27 @@ class HistoryView:
     def records(self) -> List[RecordView]:
         """The surviving record views, oldest first (deletes skipped)."""
         return [entry.view for entry in self.entries if entry.view is not None]
+
+
+@dataclass(frozen=True)
+class QueryPage:
+    """One page of rich-query results.
+
+    ``bookmark`` resumes the next page (``None`` = last page); ``plan``
+    carries the planner's access-path report when the query asked to
+    explain itself.
+    """
+
+    records: Tuple[RecordView, ...]
+    bookmark: Optional[str] = None
+    plan: Optional[Dict[str, Any]] = None
+    latency_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
 
 
 @dataclass(frozen=True)
@@ -318,6 +343,26 @@ class ProvenanceStore(Protocol):
         at_time: Optional[float] = None,
     ) -> VerifyResult:
         """Check data (or a precomputed checksum) against the store."""
+        ...
+
+    def query(
+        self,
+        selector: Dict[str, Any],
+        at_time: Optional[float] = None,
+        limit: Optional[int] = None,
+        bookmark: Optional[str] = None,
+        explain: bool = False,
+    ) -> QueryPage:
+        """Rich query over record fields (backends without one raise)."""
+        ...
+
+    def subscribe(
+        self,
+        selector: Dict[str, Any],
+        callback: Optional[Callable[[Dict[str, Any]], None]] = None,
+        tenant: Optional[str] = None,
+    ) -> Any:
+        """Standing commit-fed selector; returns a cancellable handle."""
         ...
 
     def audit(self) -> bool:

@@ -19,11 +19,13 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.api.protocol import (
     HistoryView,
     ProvenanceStore,
+    QueryPage,
     RecordView,
     StoreRequest,
     SubmitHandle,
     VerifyResult,
 )
+from repro.common.errors import ConfigurationError
 from repro.middleware.cache import ReadCacheMiddleware, SharedReadCache
 from repro.middleware.config import PipelineConfig
 from repro.middleware.tenancy import (
@@ -53,6 +55,7 @@ class ProvenanceSession:
         self.tenant = tenant
         self._owns_store = owns_store
         self._handles: List[SubmitHandle] = []
+        self._subscriptions: List[Any] = []
         self._submitted = 0
         self._closed = False
 
@@ -135,6 +138,65 @@ class ProvenanceSession:
     def audit(self) -> bool:
         return self.backend.audit()
 
+    def query(
+        self,
+        selector: Dict[str, Any],
+        at_time: Optional[float] = None,
+        limit: Optional[int] = None,
+        bookmark: Optional[str] = None,
+        explain: bool = False,
+    ) -> QueryPage:
+        """Rich query scoped to this session's tenant namespace.
+
+        Selectors match record fields (``docs/api.md`` has the syntax);
+        ``limit``/``bookmark`` page through the matches — pass the
+        returned :attr:`QueryPage.bookmark` back to resume — and
+        ``explain=True`` surfaces the planner's access-path report.
+        Returned keys and bookmarks are tenant-relative.
+        """
+        page = self.backend.query(
+            selector,
+            at_time=at_time,
+            limit=limit,
+            bookmark=bookmark,
+            explain=explain,
+        )
+        if self.tenant:
+            page = replace(
+                page,
+                records=tuple(
+                    view.relative_to(self._strip) for view in page.records
+                ),
+            )
+        return page
+
+    def subscribe(
+        self,
+        selector: Dict[str, Any],
+        callback: Optional[Any] = None,
+    ) -> Any:
+        """Standing continuous query: matching commits are pushed as they land.
+
+        ``selector`` uses the rich-query syntax (``_prefix`` scoping
+        allowed, pagination fields rejected).  With a ``callback`` every
+        matching committed record is delivered immediately; without one,
+        deliveries buffer on the returned handle (``pop_events()``).
+        Handles are cancelled automatically when the session closes.
+        Requires a pipeline built with ``continuous_queries=True``.
+        """
+        config = getattr(
+            getattr(self.backend, "client", None), "pipeline_config", None
+        )
+        if config is not None and not config.continuous_queries:
+            raise ConfigurationError(
+                "this session's pipeline was not built with continuous_queries=True"
+            )
+        handle = self.backend.subscribe(
+            selector, callback=callback, tenant=self.tenant or None
+        )
+        self._subscriptions.append(handle)
+        return handle
+
     # ------------------------------------------------------------ lifecycle
     def drain(self) -> None:
         """Await every in-flight submission made through this session.
@@ -148,10 +210,18 @@ class ProvenanceSession:
         self._handles = [handle for handle in self._handles if not handle.done]
 
     def close(self) -> None:
-        """Drain, then release the session's pipeline (if it owns one)."""
+        """Drain, then release the session's pipeline (if it owns one).
+
+        Standing continuous queries registered through this session are
+        cancelled here, whether or not the session owns its store — a
+        closed session must never receive further deliveries.
+        """
         if self._closed:
             return
         self.drain()
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions.clear()
         if self._owns_store:
             self.backend.close()
         self._closed = True
@@ -258,6 +328,8 @@ class HyperProvService:
             self.deployment.fabric.set_order_batch_size(config.order_batch_size)
             if config.scheduler is not None:
                 self.deployment.fabric.set_scheduler(config.scheduler)
+            if config.indexes:
+                self.deployment.fabric.enable_secondary_indexes(config.indexes)
         return ProvenanceSession(
             client.as_store(), tenant=tenant or "", owns_store=True
         )

@@ -17,6 +17,7 @@ Module           Reproduces
 ``ablation_sharding``  Channel shards vs throughput + tenant fair-sharing
 ``perf``             Wall-clock simulated-tx/s of the hot paths (BENCH_PERF.json)
 ``fleet``            Parallel vs sequential fleet executor (speedup + anchor)
+``query``            Indexed vs scan selector throughput + continuous delivery
 ===============  ==========================================================
 
 Run ``python -m repro.bench <experiment>`` or use the pytest-benchmark
@@ -41,6 +42,7 @@ from repro.bench.ablation_sharding import (
 )
 from repro.bench.perf import run_perf
 from repro.bench.fleet import run_fleet
+from repro.bench.query_bench import run_query_bench
 from repro.bench.resource_usage import run_resource_usage
 
 __all__ = [
@@ -64,5 +66,6 @@ __all__ = [
     "run_fairness_comparison",
     "run_perf",
     "run_fleet",
+    "run_query_bench",
     "run_resource_usage",
 ]

@@ -30,6 +30,12 @@ from repro.bench.fleet import (
     write_fleet_entry,
 )
 from repro.bench.perf import PerfRegressionError, check_regression_data, write_report
+from repro.bench.query_bench import (
+    DEFAULT_MIN_SPEEDUP,
+    check_query_gate,
+    run_query_bench,
+    write_query_entry,
+)
 from repro.bench.ops_table import stage_table as ops_stage_table
 from repro.bench.ops_table import to_table as ops_to_table
 from repro.consensus.scheduler import SCHEDULER_NAMES
@@ -265,6 +271,30 @@ def _run_fleet(args: argparse.Namespace) -> str:
     return rendered
 
 
+def _run_query(args: argparse.Namespace) -> str:
+    report = run_query_bench(
+        key_scales=tuple(args.query_keys),
+        queries=args.query_queries,
+        commits=args.query_commits,
+        repeats=args.query_repeats,
+    )
+    output = Path(args.perf_output)
+    document = write_query_entry(report, output)
+    table = report.to_table()
+    table.add_note(f"written to {output} (query section)")
+    rendered = table.render()
+    failures = check_query_gate(document, min_speedup=args.query_min_speedup)
+    if failures:
+        raise PerfRegressionError(
+            "query bench gate:\n" + "\n".join(f"  - {f}" for f in failures)
+        )
+    rendered += (
+        f"\nquery gate: indexed selector meets the "
+        f"{args.query_min_speedup}x speedup floor"
+    )
+    return rendered
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -279,6 +309,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "ablation-sharding": _run_sharding,
     "perf": _run_perf,
     "fleet": _run_fleet,
+    "query": _run_query,
     "resources": _run_resources,
 }
 
@@ -400,6 +431,35 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--fleet-duration", type=float, default=200.0,
         help="virtual seconds of fleet traffic per run (default: 200)",
+    )
+    query = parser.add_argument_group(
+        "query", "read-side query bench configuration for the query "
+                 "experiment (shares --perf-output; the gate checks the "
+                 "indexed-vs-scan speedup, not absolute throughput)"
+    )
+    query.add_argument(
+        "--query-keys", type=_positive_int, nargs="+", default=[1_000, 10_000],
+        help="preloaded key scales the indexed-vs-scan comparison runs at "
+             "(default: 1000 10000; the gate applies at the largest)",
+    )
+    query.add_argument(
+        "--query-queries", type=_positive_int, default=30,
+        help="selector queries per mode and scale (default: 30)",
+    )
+    query.add_argument(
+        "--query-commits", type=_positive_int, default=32,
+        help="commits pushed through the continuous-query delivery "
+             "workload (default: 32)",
+    )
+    query.add_argument(
+        "--query-repeats", type=_positive_int, default=2,
+        help="measurement passes per mode; the fastest is reported "
+             "(default: 2)",
+    )
+    query.add_argument(
+        "--query-min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+        help="indexed-vs-scan wall-clock speedup the largest key scale "
+             f"must reach before the gate fails (default: {DEFAULT_MIN_SPEEDUP})",
     )
     return parser
 

@@ -333,26 +333,31 @@ def write_report(report: PerfReport, path: Path) -> Dict[str, object]:
 
     If the existing file carries a ``baseline_pre_pr`` section (the
     numbers measured on the unoptimized implementation), it is carried
-    forward and the speedup factors are recomputed against it.  A
-    ``fleet`` section (owned by ``bench fleet``) is carried forward
-    untouched as well.
+    forward and the speedup factors are recomputed against it.  The
+    ``fleet`` and ``query`` sections (owned by ``bench fleet`` and
+    ``bench query``) are carried forward untouched as well.
     """
     document: Dict[str, object] = report.to_dict()
     baseline: Optional[Dict[str, object]] = None
     fleet: Optional[Dict[str, object]] = None
+    query: Optional[Dict[str, object]] = None
     if path.exists():
         try:
             previous = json.loads(path.read_text())
             baseline = previous.get("baseline_pre_pr")
             fleet = previous.get("fleet")
+            query = previous.get("query")
         except (json.JSONDecodeError, OSError):
             baseline = None
             fleet = None
+            query = None
     if baseline:
         document["baseline_pre_pr"] = baseline
         document["speedup_vs_pre_pr"] = _speedups(report, baseline)
     if fleet:
         document["fleet"] = fleet
+    if query:
+        document["query"] = query
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return document
 

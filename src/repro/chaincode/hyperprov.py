@@ -41,6 +41,8 @@ from repro.chaincode.records import ProvenanceRecord
 from repro.chaincode.shim import Chaincode, ChaincodeResponse, ChaincodeStub
 from repro.common.caching import BoundedMemo
 from repro.common.errors import ValidationError
+from repro.query.planner import PATH_INDEX, build_plan, intersect_keys
+from repro.query.selectors import SELECTOR_FIELD_DEFAULTS, compile_selector
 
 
 class HyperProvChaincode(Chaincode):
@@ -239,12 +241,42 @@ class HyperProvChaincode(Chaincode):
         return ChaincodeResponse.success(json.dumps({"matches": matches}))
 
     def _get_by_range(self, stub: ChaincodeStub) -> ChaincodeResponse:
-        """``getbyrange(start_key, end_key)`` — committed records in a key range."""
+        """``getbyrange(start_key, end_key[, limit[, bookmark]])``.
+
+        Committed records in a key range.  The two-argument form returns
+        the plain row list (the historical surface).  With a ``limit``
+        (and optionally a ``bookmark`` — the last key of the previous
+        page) the response is a ``{"records", "bookmark"}`` envelope: the
+        bookmark is non-null exactly when the page filled, and feeding it
+        back resumes strictly after it.
+        """
         start_key = stub.args[0] if stub.args else ""
         end_key = stub.args[1] if len(stub.args) > 1 else ""
-        results = stub.get_state_by_range(start_key, end_key)
-        payload = [{"key": key, "record": value} for key, value in results]
-        return ChaincodeResponse.success(json.dumps(payload))
+        if len(stub.args) <= 2:
+            results = stub.get_state_by_range(start_key, end_key)
+            payload = [{"key": key, "record": value} for key, value in results]
+            return ChaincodeResponse.success(json.dumps(payload))
+        try:
+            limit = int(stub.args[2]) if stub.args[2] else 0
+        except ValueError:
+            return ChaincodeResponse.error("getbyrange limit must be an integer")
+        if limit < 0:
+            return ChaincodeResponse.error("getbyrange limit must be >= 0")
+        bookmark = stub.args[3] if len(stub.args) > 3 else ""
+        records = []
+        truncated = False
+        for key, value in stub.iter_state_by_range(start_key, end_key, bookmark):
+            if key.startswith("__"):
+                continue
+            records.append({"key": key, "record": value})
+            if limit and len(records) >= limit:
+                truncated = True
+                break
+        envelope = {
+            "records": records,
+            "bookmark": records[-1]["key"] if truncated else None,
+        }
+        return ChaincodeResponse.success(json.dumps(envelope))
 
     def _get_dependencies(self, stub: ChaincodeStub) -> ChaincodeResponse:
         """``getdependencies(key)`` — the dependency list of the latest record."""
@@ -264,10 +296,28 @@ class HyperProvChaincode(Chaincode):
         selectors match inside the custom metadata map).  Mirrors the rich
         queries HLF supports with a CouchDB state database.
 
-        The reserved ``_prefix`` selector field scopes the scan: only keys
-        starting with that prefix are fetched (via the world state's
-        prefix index) and parsed, instead of a full key-space scan — the
-        equivalent of a CouchDB index on the composite key.
+        Reserved selector fields:
+
+        ``_prefix``
+            Scope the scan: only keys starting with the prefix are
+            considered (the equivalent of a CouchDB composite-key index).
+        ``_limit`` / ``_bookmark``
+            Paginate: return at most ``_limit`` matches, resuming
+            strictly after the ``_bookmark`` key.  Responses become a
+            ``{"records", "bookmark"}`` envelope; the bookmark is
+            non-null exactly when the page filled.
+        ``_explain``
+            Embed the planner's chosen access path in the envelope as
+            ``"plan"``.
+
+        Access-path choice is delegated to :mod:`repro.query.planner`:
+        when the peer's world state carries field-value secondary indexes
+        the selector's equality fields are served by posting-list
+        intersection, otherwise by the prefix run or a full scan.  Every
+        path visits candidates in key order, costs one state operation
+        and applies the same compiled predicates, so the returned rows —
+        and the query's virtual-time cost — are identical with indexes
+        on or off.
         """
         if not stub.args or not stub.args[0]:
             return ChaincodeResponse.error("query requires a JSON selector argument")
@@ -281,17 +331,51 @@ class HyperProvChaincode(Chaincode):
         prefix = selector.pop("_prefix", None)
         if prefix is not None and not isinstance(prefix, str):
             return ChaincodeResponse.error("_prefix must be a string")
+        limit = selector.pop("_limit", None)
+        if limit is not None and (not isinstance(limit, int) or isinstance(limit, bool) or limit < 0):
+            return ChaincodeResponse.error("_limit must be a non-negative integer")
+        bookmark = selector.pop("_bookmark", None)
+        if bookmark is not None and not isinstance(bookmark, str):
+            return ChaincodeResponse.error("_bookmark must be a string")
+        explain = selector.pop("_explain", None)
+        if explain is not None and not isinstance(explain, bool):
+            return ChaincodeResponse.error("_explain must be a boolean")
         if not selector and not prefix:
             return ChaincodeResponse.error("selector must be a non-empty JSON object")
-        if prefix:
+        paginated = limit is not None or bookmark is not None or bool(explain)
+        prefix = prefix or ""
+        limit = limit or 0
+        bookmark = bookmark or ""
+
+        world_state = stub.world_state
+        plan = build_plan(
+            selector,
+            index=world_state.secondary_index,
+            total_keys=len(world_state),
+            prefix=prefix,
+            prefix_keys=world_state.prefix_key_estimate(prefix) if prefix else None,
+            limit=limit,
+            bookmark=bookmark,
+        )
+        if plan.access_path == PATH_INDEX:
+            keys = intersect_keys(world_state.secondary_index, plan, selector)
+            candidates = stub.get_state_by_keys(keys)
+        elif paginated:
+            # The lazy scan: a bookmark+limit page stops as soon as it
+            # fills instead of materialising the whole prefix run.
+            candidates = stub.iter_state_by_prefix(prefix, bookmark)
+        elif prefix:
             candidates = stub.get_state_by_prefix(prefix)
         else:
             candidates = stub.get_state_by_range("", "")
 
-        # Compile the selector once; the per-candidate loop then runs the
-        # pre-dispatched checks instead of re-classifying every field.
-        compiled = self._compile_selector(selector)
+        # Compile the residual predicates once; the per-candidate loop
+        # then runs the pre-dispatched checks.  Index-served equalities
+        # are already guaranteed by the posting intersection.
+        residual = {name: selector[name] for name in plan.residual_fields}
+        compiled = self._compile_selector(residual)
         matches = []
+        truncated = False
         for key, value in candidates:
             if key.startswith("__"):
                 continue
@@ -300,7 +384,18 @@ class HyperProvChaincode(Chaincode):
                 continue
             if all(check(document) for check in compiled):
                 matches.append({"key": key, "record": value})
-        return ChaincodeResponse.success(json.dumps(matches))
+                if limit and len(matches) >= limit:
+                    truncated = True
+                    break
+        if not paginated:
+            return ChaincodeResponse.success(json.dumps(matches))
+        envelope = {
+            "records": matches,
+            "bookmark": matches[-1]["key"] if truncated else None,
+        }
+        if explain:
+            envelope["plan"] = plan.explain()
+        return ChaincodeResponse.success(json.dumps(envelope))
 
     def _parse_record(
         self, stub: ChaincodeStub, key: str, value: str
@@ -322,50 +417,19 @@ class HyperProvChaincode(Chaincode):
             self._record_cache[cache_key] = document
         return document
 
-    #: Record fields a bare selector field may match, with the same
-    #: defaults :meth:`ProvenanceRecord.from_json` fills in for missing
-    #: document keys — matching on the parsed dict stays behaviourally
-    #: identical to matching on the reconstructed dataclass.
-    _SELECTOR_FIELD_DEFAULTS = {
-        "key": "", "checksum": "", "location": "", "creator": "",
-        "organization": "", "certificate_fingerprint": "",
-        "dependencies": [], "metadata": {}, "timestamp": 0.0,
-        "size_bytes": 0,
-    }
+    #: Selector field defaults, shared with the query subsystem (kept as a
+    #: class attribute for the historical surface).
+    _SELECTOR_FIELD_DEFAULTS = SELECTOR_FIELD_DEFAULTS
 
     @classmethod
     def _compile_selector(cls, selector: dict) -> List:
-        """Turn a selector into per-document predicate callables."""
-        checks: List = []
-        for field, expected in selector.items():
-            if field.startswith("metadata."):
-                meta_key = field[len("metadata."):]
-                checks.append(
-                    lambda doc, k=meta_key, e=expected:
-                        (doc.get("metadata") or {}).get(k) == e
-                )
-            elif field == "dependencies":
-                if isinstance(expected, str):
-                    checks.append(
-                        lambda doc, e=expected:
-                            e in (doc.get("dependencies") or [])
-                    )
-                else:
-                    checks.append(
-                        lambda doc, e=expected:
-                            (doc.get("dependencies") or []) == e
-                    )
-            elif field in cls._SELECTOR_FIELD_DEFAULTS:
-                default = cls._SELECTOR_FIELD_DEFAULTS[field]
-                checks.append(
-                    lambda doc, f=field, d=default, e=expected:
-                        doc.get(f, d) == e
-                )
-            else:
-                # Unknown field: only an explicit None can ever match
-                # (mirrors the dataclass getattr(..., None) behaviour).
-                checks.append(lambda doc, e=expected: e is None)
-        return checks
+        """Turn a selector into per-document predicate callables.
+
+        Delegates to :func:`repro.query.selectors.compile_selector` — the
+        single definition of match semantics shared with the planner's
+        residual filter and the continuous-query registry.
+        """
+        return compile_selector(selector)
 
 
     def _delete(self, stub: ChaincodeStub) -> ChaincodeResponse:

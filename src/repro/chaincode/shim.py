@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ChaincodeError
 from repro.crypto.certificates import Certificate
@@ -107,6 +107,60 @@ class ChaincodeStub:
         entries = self.world_state.query_by_prefix_versioned(prefix)
         self.rw_set.extend_reads([(key, entry.version) for key, entry in entries])
         return [(key, entry.value) for key, entry in entries]
+
+    def get_state_by_keys(self, keys: List[str]) -> List[Tuple[str, str]]:
+        """Committed values for an explicit candidate key list.
+
+        The index-path read: the planner hands over the (sorted) keys
+        surviving a posting-list intersection and this fetches them in one
+        shim call.  Like the range/prefix scans it costs exactly **one**
+        state operation and records a read per returned key — a query
+        keeps the same virtual-time cost whichever access path serves it.
+        Missing keys (deleted since indexing) are skipped.
+        """
+        self.state_operations += 1
+        results: List[Tuple[str, str]] = []
+        reads: List[Tuple[str, object]] = []
+        world_state = self.world_state
+        for key in keys:
+            entry = world_state.get(key)
+            if entry is None:
+                continue
+            reads.append((key, entry.version))
+            results.append((key, entry.value))
+        self.rw_set.extend_reads(reads)
+        return results
+
+    def iter_state_by_prefix(
+        self, prefix: str, start_after: str = ""
+    ) -> Iterator[Tuple[str, str]]:
+        """Lazy prefix scan, optionally resuming strictly after a bookmark.
+
+        The paginated counterpart of :meth:`get_state_by_prefix`: yields
+        ``(key, value)`` in key order without materialising the whole
+        run, so a bookmark+limit page only touches the rows it returns.
+        An empty ``prefix`` walks the full key space (the paginated form
+        of ``get_state_by_range("", "")``).  One state operation charged
+        up front, reads recorded as rows are consumed.
+        """
+        self.state_operations += 1
+        return self._record_reads(
+            self.world_state.iter_by_prefix_versioned(prefix, start_after)
+        )
+
+    def iter_state_by_range(
+        self, start_key: str, end_key: str, start_after: str = ""
+    ) -> Iterator[Tuple[str, str]]:
+        """Lazy range scan, optionally resuming strictly after a bookmark."""
+        self.state_operations += 1
+        return self._record_reads(
+            self.world_state.iter_by_range_versioned(start_key, end_key, start_after)
+        )
+
+    def _record_reads(self, entries) -> Iterator[Tuple[str, str]]:
+        for key, entry in entries:
+            self.rw_set.add_read(key, entry.version)
+            yield key, entry.value
 
     def get_history_for_key(self, key: str) -> List[HistoryEntry]:
         """Every committed modification of ``key``, oldest first."""

@@ -8,14 +8,19 @@ this bus so that benchmark harnesses can observe commits without polling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Set
 
 EventHandler = Callable[[str, Any], None]
 
 
 @dataclass
 class Subscription:
-    """Handle returned by :meth:`EventBus.subscribe`; use it to unsubscribe."""
+    """Handle returned by :meth:`EventBus.subscribe`; use it to unsubscribe.
+
+    Also a context manager: ``with bus.subscribe(topic, fn):`` guarantees
+    the handler is removed on exit, so transient observers (read caches,
+    continuous-query cursors, test probes) cannot leak into the bus.
+    """
 
     topic: str
     handler: EventHandler
@@ -23,10 +28,21 @@ class Subscription:
     active: bool = True
 
     def cancel(self) -> None:
-        """Stop receiving events for this subscription."""
+        """Stop receiving events for this subscription (idempotent).
+
+        Safe to call from inside the subscription's own handler: the bus
+        defers the structural removal until the publish that is currently
+        walking the handler list has finished.
+        """
         if self.active:
-            self.bus.unsubscribe(self)
             self.active = False
+            self.bus.unsubscribe(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
 
 
 class EventBus:
@@ -37,6 +53,12 @@ class EventBus:
     Exceptions raised by one handler are collected and re-raised after all
     handlers ran, so one misbehaving observer cannot silently swallow an
     event for the others.
+
+    Cancelling a subscription *during* a publish — including a handler
+    cancelling itself, the natural shape for one-shot cursors — is safe:
+    removals are deferred while any publish is walking handler lists and
+    swept once the outermost publish returns.  Handlers subscribed during
+    a publish do not receive the in-flight event.
     """
 
     def __init__(self) -> None:
@@ -45,6 +67,11 @@ class EventBus:
         # otherwise accumulate one empty list per transaction forever.
         self._handlers: Dict[str, List[Subscription]] = {}
         self._published: int = 0
+        #: publish re-entrancy depth; structural removals are deferred
+        #: while > 0 so in-flight handler walks keep stable indices.
+        self._publishing: int = 0
+        #: topics with cancelled subscriptions awaiting the deferred sweep.
+        self._dirty_topics: Set[str] = set()
 
     @property
     def published_count(self) -> int:
@@ -63,14 +90,36 @@ class EventBus:
         return subscription
 
     def unsubscribe(self, subscription: Subscription) -> None:
-        """Remove a previously registered subscription (idempotent)."""
-        handlers = self._handlers.get(subscription.topic)
-        if not handlers:
+        """Remove a previously registered subscription (idempotent).
+
+        Called from inside a handler (directly or via
+        :meth:`Subscription.cancel`) the removal is deferred: the
+        subscription is deactivated immediately — it receives no further
+        events — but the handler list is only compacted after the
+        outermost in-flight publish completes.
+        """
+        subscription.active = False
+        if self._publishing:
+            self._dirty_topics.add(subscription.topic)
             return
-        if subscription in handlers:
-            handlers.remove(subscription)
-        if not handlers:
-            del self._handlers[subscription.topic]
+        self._compact_topic(subscription.topic)
+
+    def _compact_topic(self, topic: str) -> None:
+        handlers = self._handlers.get(topic)
+        if handlers is None:
+            return
+        live = [entry for entry in handlers if entry.active]
+        if live:
+            self._handlers[topic] = live
+        else:
+            del self._handlers[topic]
+
+    def _sweep_dirty(self) -> None:
+        if not self._dirty_topics:
+            return
+        dirty, self._dirty_topics = self._dirty_topics, set()
+        for topic in dirty:
+            self._compact_topic(topic)
 
     def publish(self, topic: str, payload: Any = None) -> int:
         """Publish ``payload`` on ``topic``; returns number of handlers invoked."""
@@ -82,19 +131,26 @@ class EventBus:
             return 0
         errors: List[Exception] = []
         delivered = 0
-        for subscription in list(handlers):
-            if not subscription.active:
-                continue
-            try:
-                subscription.handler(topic, payload)
-                delivered += 1
-            except Exception as exc:  # noqa: BLE001 - re-raised below
-                errors.append(exc)
-        # Handlers may have cancelled subscriptions (including their own)
-        # while running; drop the topic once its list has emptied.
-        remaining = self._handlers.get(topic)
-        if remaining is not None and not remaining:
-            del self._handlers[topic]
+        # Walk the live list up to its length at publish time: removals
+        # are deferred while we iterate (indices stay stable, no per-call
+        # copy) and subscribers added mid-publish land past the snapshot
+        # length so they only see subsequent events.
+        snapshot_length = len(handlers)
+        self._publishing += 1
+        try:
+            for position in range(snapshot_length):
+                subscription = handlers[position]
+                if not subscription.active:
+                    continue
+                try:
+                    subscription.handler(topic, payload)
+                    delivered += 1
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+        finally:
+            self._publishing -= 1
+            if not self._publishing:
+                self._sweep_dirty()
         if errors:
             raise errors[0]
         return delivered
@@ -117,4 +173,8 @@ class EventBus:
 
     def topics(self) -> List[str]:
         """Topics that currently have at least one subscriber."""
-        return sorted(topic for topic, subs in self._handlers.items() if subs)
+        return sorted(
+            topic
+            for topic, subs in self._handlers.items()
+            if any(entry.active for entry in subs)
+        )

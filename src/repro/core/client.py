@@ -58,6 +58,10 @@ class QueryResult:
 
     payload: Any
     latency_s: float
+    #: Resume token of a paginated read (``None`` = last page / unpaginated).
+    bookmark: Optional[str] = None
+    #: The planner's access-path report, when the query asked to explain.
+    plan: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -184,6 +188,11 @@ class HyperProvClient:
         self.network.set_order_batch_size(config.order_batch_size)
         if config.scheduler is not None:
             self.network.set_scheduler(config.scheduler)
+        # Index enablement is one-way here: an empty tuple means "this
+        # config doesn't care", not "tear down another pipeline's indexes"
+        # (several tenant pipelines share one deployment).
+        if config.indexes:
+            self.network.enable_secondary_indexes(config.indexes)
 
     @property
     def read_cache(self) -> Optional[ReadCacheMiddleware]:
@@ -422,25 +431,50 @@ class HyperProvClient:
         return QueryResult(payload=json.loads(response.payload), latency_s=latency)
 
     def query_records(
-        self, selector: Dict[str, Any], at_time: Optional[float] = None
+        self,
+        selector: Dict[str, Any],
+        at_time: Optional[float] = None,
+        limit: Optional[int] = None,
+        bookmark: Optional[str] = None,
+        explain: bool = False,
     ) -> QueryResult:
         """Rich query: records whose fields match ``selector``.
 
         Examples: ``{"creator": "camera-gw"}``, ``{"organization": "org2"}``,
         ``{"metadata.station": "tromso-01"}``, ``{"dependencies": "raw/a"}``.
+
+        ``limit``/``bookmark`` page through the matches — pass the returned
+        :attr:`QueryResult.bookmark` back to resume; ``None`` means the
+        last page.  ``explain=True`` additionally surfaces the planner's
+        access-path report in :attr:`QueryResult.plan`.
         """
+        request = dict(selector)
+        if limit is not None:
+            request["_limit"] = limit
+        if bookmark is not None:
+            request["_bookmark"] = bookmark
+        if explain:
+            request["_explain"] = True
         response, latency = self._query(
-            "query_records", "query", [json.dumps(selector, sort_keys=True)],
+            "query_records", "query", [json.dumps(request, sort_keys=True)],
             at_time=at_time,
         )
         if not response.is_ok or response.payload is None:
             raise ChaincodeError(response.message or "rich query failed")
-        rows = json.loads(response.payload)
+        decoded = json.loads(response.payload)
+        rows = decoded["records"] if isinstance(decoded, dict) else decoded
         records = [
             {"key": row["key"], "record": ProvenanceRecord.from_json(row["record"])}
             for row in rows
         ]
         self.metrics.histogram("query_latency_s").observe(latency)
+        if isinstance(decoded, dict):
+            return QueryResult(
+                payload=records,
+                latency_s=latency,
+                bookmark=decoded.get("bookmark"),
+                plan=decoded.get("plan"),
+            )
         return QueryResult(payload=records, latency_s=latency)
 
     def on_provenance_recorded(self, callback) -> None:
@@ -463,20 +497,34 @@ class HyperProvClient:
         self.network.events.subscribe(event_topic, _handler)
 
     def get_by_range(
-        self, start_key: str = "", end_key: str = "", at_time: Optional[float] = None
+        self,
+        start_key: str = "",
+        end_key: str = "",
+        at_time: Optional[float] = None,
+        limit: Optional[int] = None,
+        bookmark: Optional[str] = None,
     ) -> QueryResult:
-        """Provenance records in a key range."""
+        """Provenance records in a key range (optionally paginated)."""
+        args = [start_key, end_key]
+        if limit is not None or bookmark is not None:
+            args.append(str(limit) if limit is not None else "0")
+            args.append(bookmark or "")
         response, latency = self._query(
-            "get_by_range", "getbyrange", [start_key, end_key], at_time=at_time
+            "get_by_range", "getbyrange", args, at_time=at_time
         )
         if not response.is_ok or response.payload is None:
             raise ChaincodeError(response.message or "range query failed")
-        rows = json.loads(response.payload)
+        decoded = json.loads(response.payload)
+        rows = decoded["records"] if isinstance(decoded, dict) else decoded
         records = [
             {"key": row["key"], "record": ProvenanceRecord.from_json(row["record"])}
             for row in rows
             if not row["key"].startswith("__")
         ]
+        if isinstance(decoded, dict):
+            return QueryResult(
+                payload=records, latency_s=latency, bookmark=decoded.get("bookmark")
+            )
         return QueryResult(payload=records, latency_s=latency)
 
     # ------------------------------------------------------------ store_data

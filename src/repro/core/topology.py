@@ -82,6 +82,9 @@ class DeploymentSpec:
     #: sequential builder ignores it — 1 keeps everything on one engine,
     #: which remains the default execution mode.
     workers: int = 1
+    #: Field-value secondary indexes attached to every peer ledger at build
+    #: time (same syntax as ``PipelineConfig.indexes``; empty = none).
+    indexes: Sequence[str] = ()
     seed: int = 42
     name: str = "deployment"
 
@@ -278,6 +281,9 @@ def build_deployment(spec: DeploymentSpec) -> HyperProvDeployment:
         network=fabric, client_name="hyperprov-client", storage=storage
     )
 
+    if spec.indexes:
+        fabric.enable_secondary_indexes(tuple(spec.indexes))
+
     power_meters = {
         name: PowerMeter(PowerModel(device)) for name, device in devices.items()
     }
@@ -306,6 +312,7 @@ def build_desktop_deployment(
     scheduler: str = "fifo",
     scheduler_weights: Optional[Dict[str, float]] = None,
     orderer_intake_interval_s: float = 0.0,
+    indexes: Sequence[str] = (),
     seed: int = 42,
 ) -> HyperProvDeployment:
     """The paper's desktop setup: 2× Xeon E5-1603, i7-4700MQ, i3-2310M.
@@ -328,6 +335,7 @@ def build_desktop_deployment(
         scheduler=scheduler,
         scheduler_weights=scheduler_weights,
         orderer_intake_interval_s=orderer_intake_interval_s,
+        indexes=indexes,
         seed=seed,
     )
     return build_deployment(spec)
@@ -341,6 +349,7 @@ def build_rpi_deployment(
     scheduler: str = "fifo",
     scheduler_weights: Optional[Dict[str, float]] = None,
     orderer_intake_interval_s: float = 0.0,
+    indexes: Sequence[str] = (),
     seed: int = 42,
 ) -> HyperProvDeployment:
     """The paper's edge setup: 4× Raspberry Pi 3B+ on one switch.
@@ -363,6 +372,7 @@ def build_rpi_deployment(
         scheduler=scheduler,
         scheduler_weights=scheduler_weights,
         orderer_intake_interval_s=orderer_intake_interval_s,
+        indexes=indexes,
         seed=seed,
     )
     return build_deployment(spec)

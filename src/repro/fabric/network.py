@@ -484,6 +484,26 @@ class FabricNetwork:
             shard.batcher.flush()
             shard.batcher.batch_size = batch_size
 
+    def enable_secondary_indexes(self, fields: Tuple[str, ...]) -> None:
+        """Attach field-value secondary indexes to every peer's world state.
+
+        One :class:`~repro.query.indexes.FieldValueIndex` per ledger (per
+        peer per shard — each channel ledger is independent, exactly like
+        CouchDB indexes in Fabric).  Existing committed state is reindexed
+        on attach; an empty ``fields`` detaches the indexes again.  The
+        rich-query planner picks them up automatically through the world
+        state, so this is the only fabric-side switch the ``indexes``
+        pipeline knob needs to flip.
+        """
+        from repro.query.indexes import FieldValueIndex, validate_index_fields
+
+        normalized = validate_index_fields(fields) if fields else ()
+        for shard in self._shards:
+            for peer in shard.peers.values():
+                peer.world_state.attach_secondary_index(
+                    FieldValueIndex(normalized) if normalized else None
+                )
+
     def set_scheduler(self, name: str, weights: Optional[Dict[str, float]] = None) -> None:
         """Swap the intake scheduler on every shard's ordering service.
 

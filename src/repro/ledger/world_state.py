@@ -16,9 +16,9 @@ key space.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Protocol, Set, Tuple
 
 from repro.ledger.transaction import Version
 
@@ -92,17 +92,40 @@ class _SortedKeyIndex:
             if key not in dead:
                 yield key
 
-    def scan_prefix(self, prefix: str) -> Iterator[str]:
-        """Live keys starting with ``prefix`` (a contiguous sorted run)."""
+    def scan_prefix(self, prefix: str, start_after: str = "") -> Iterator[str]:
+        """Live keys starting with ``prefix`` (a contiguous sorted run).
+
+        ``start_after`` resumes a paginated scan strictly *after* the
+        given key — the bookmark contract: pages never overlap even when
+        the bookmark key itself was deleted between pages.
+        """
         keys = self._keys
         dead = self._dead
-        index = bisect_left(keys, prefix) if prefix else 0
+        if start_after and start_after >= prefix:
+            index = bisect_right(keys, start_after)
+        else:
+            index = bisect_left(keys, prefix) if prefix else 0
         for position in range(index, len(keys)):
             key = keys[position]
             if prefix and not key.startswith(prefix):
                 return
             if key not in dead:
                 yield key
+
+
+class SecondaryIndex(Protocol):
+    """What :class:`WorldState` needs from an attached field-value index.
+
+    The concrete implementation lives in :mod:`repro.query.indexes`; the
+    ledger only requires the maintenance half of the contract so the
+    dependency arrow keeps pointing query → ledger, never back.
+    """
+
+    def update(self, key: str, value: str) -> None:
+        """(Re-)index ``key`` after a committed put of ``value``."""
+
+    def remove(self, key: str) -> None:
+        """Drop every posting for ``key`` after a committed delete."""
 
 
 class WorldState:
@@ -119,7 +142,26 @@ class WorldState:
         self._buckets: Optional[Dict[str, _SortedKeyIndex]] = (
             {} if prefix_index else None
         )
+        #: optional field-value secondary index, maintained transactionally
+        #: with every committed put/delete (see ``attach_secondary_index``).
+        self._secondary: Optional[SecondaryIndex] = None
         self.writes_applied = 0
+
+    @property
+    def secondary_index(self) -> Optional[SecondaryIndex]:
+        """The attached field-value index, if any (read path introspection)."""
+        return self._secondary
+
+    def attach_secondary_index(self, index: Optional[SecondaryIndex]) -> None:
+        """Attach (or detach, with ``None``) a field-value secondary index.
+
+        Existing committed state is reindexed immediately, so an index
+        enabled mid-run answers for keys committed before it existed.
+        """
+        self._secondary = index
+        if index is not None:
+            for key, entry in self._data.items():
+                index.update(key, entry.value)
 
     def get(self, key: str) -> Optional[VersionedValue]:
         """The latest committed value for ``key``, or ``None``."""
@@ -141,6 +183,8 @@ class WorldState:
             if bucket is not None:
                 bucket.add(key)
         self._data[key] = VersionedValue(value=value, version=version)
+        if self._secondary is not None:
+            self._secondary.update(key, value)
         self.writes_applied += 1
 
     def delete(self, key: str, version: Version) -> None:
@@ -150,6 +194,8 @@ class WorldState:
             bucket = self._bucket_for(key)
             if bucket is not None:
                 bucket.discard(key)
+            if self._secondary is not None:
+                self._secondary.remove(key)
         self.writes_applied += 1
 
     def _bucket_for(self, key: str) -> Optional[_SortedKeyIndex]:
@@ -226,6 +272,60 @@ class WorldState:
                 index = bucket
         data = self._data
         return [(key, data[key]) for key in index.scan_prefix(prefix)]
+
+    def prefix_key_estimate(self, prefix: str) -> int:
+        """Cheap upper bound on the keys under ``prefix``.
+
+        The planner's cost input: the bucket size when the prefix names a
+        single first-segment bucket, the full key count otherwise.  O(1),
+        never scans.
+        """
+        if self._buckets is not None and prefix:
+            segment, separator, _rest = prefix.partition(self.PREFIX_SEPARATOR)
+            if separator:
+                bucket = self._buckets.get(segment)
+                return len(bucket) if bucket is not None else 0
+        return len(self._data)
+
+    def iter_by_range_versioned(
+        self, start_key: str, end_key: str, start_after: str = ""
+    ) -> Iterator[Tuple[str, VersionedValue]]:
+        """Lazy range scan, optionally resuming strictly after a bookmark."""
+        effective_start = start_key
+        if start_after and start_after >= start_key:
+            effective_start = start_after
+        data = self._data
+        for key in self._index.scan(effective_start, end_key):
+            if start_after and key <= start_after:
+                continue
+            entry = data.get(key)
+            if entry is not None:  # deleted while iterating
+                yield key, entry
+
+    def iter_by_prefix_versioned(
+        self, prefix: str, start_after: str = ""
+    ) -> Iterator[Tuple[str, VersionedValue]]:
+        """Lazy variant of :meth:`query_by_prefix_versioned`.
+
+        Yields entries in key order without materialising the full match
+        list, optionally resuming strictly after ``start_after`` — the
+        building block for bookmark pagination: a caller wanting the
+        first page of *k* rows touches O(log n + k) work instead of the
+        whole prefix run.
+        """
+        index: _SortedKeyIndex = self._index
+        if self._buckets is not None and prefix:
+            segment, separator, _rest = prefix.partition(self.PREFIX_SEPARATOR)
+            if separator:  # the prefix names one complete bucket
+                bucket = self._buckets.get(segment)
+                if bucket is None:
+                    return
+                index = bucket
+        data = self._data
+        for key in index.scan_prefix(prefix, start_after):
+            entry = data.get(key)
+            if entry is not None:  # deleted while iterating
+                yield key, entry
 
     def snapshot(self) -> Dict[str, str]:
         """Plain ``{key: value}`` copy of the current state."""

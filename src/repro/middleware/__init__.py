@@ -22,6 +22,7 @@ from repro.middleware.cache import ReadCacheMiddleware, SharedReadCache
 from repro.middleware.config import PipelineConfig, build_client_pipeline
 from repro.middleware.context import Context, OperationKind
 from repro.middleware.metrics import MetricsMiddleware
+from repro.middleware.query import QueryPlannerMiddleware
 from repro.middleware.retry import RetryMiddleware, RetryPolicy
 from repro.middleware.sharding import (
     ConsistentHashRing,
@@ -48,6 +49,7 @@ __all__ = [
     "RetryPolicy",
     "ReadCacheMiddleware",
     "SharedReadCache",
+    "QueryPlannerMiddleware",
     "ShardRouterMiddleware",
     "ConsistentHashRing",
     "routing_key",

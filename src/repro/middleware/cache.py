@@ -5,10 +5,11 @@ from __future__ import annotations
 import json
 import threading
 from collections import OrderedDict
+from contextlib import ExitStack
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Optional, Tuple
 
-from repro.common.events import EventBus, Subscription
+from repro.common.events import EventBus
 from repro.common.metrics import MetricsRegistry
 from repro.middleware.base import Handler, Middleware
 from repro.middleware.context import Context
@@ -143,7 +144,9 @@ class ReadCacheMiddleware(Middleware):
         self.metrics = metrics
         self._owns_store = store is None
         self.store = store if store is not None else SharedReadCache(capacity)
-        self._subscriptions: List[Subscription] = []
+        #: Subscriptions are context managers; the stack cancels every one
+        #: on close even if an individual cancel raises.
+        self._subscriptions = ExitStack()
         if events is not None:
             self.attach(events)
 
@@ -157,26 +160,25 @@ class ReadCacheMiddleware(Middleware):
         the network defers per-block fan-out to barrier-window flushes
         (``batch_commit_delivery`` / the ``parallel`` pipeline knob).
         """
-        self._subscriptions.append(
+        stack = self._subscriptions
+        stack.enter_context(
             events.subscribe(PROVENANCE_RECORDED_TOPIC, self._on_provenance_recorded)
         )
-        self._subscriptions.append(
+        stack.enter_context(
             events.subscribe(BLOCK_DELIVERED_TOPIC, self._on_block_delivered)
         )
         if batched:
-            self._subscriptions.append(
+            stack.enter_context(
                 events.subscribe(
                     PROVENANCE_RECORDED_BATCH_TOPIC, self._on_provenance_batch
                 )
             )
-            self._subscriptions.append(
+            stack.enter_context(
                 events.subscribe(COMMIT_BATCH_TOPIC, self._on_commit_batch)
             )
 
     def close(self) -> None:
-        for subscription in self._subscriptions:
-            subscription.cancel()
-        self._subscriptions.clear()
+        self._subscriptions.close()
         if self._owns_store:
             self.store.clear()
 

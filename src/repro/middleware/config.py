@@ -11,9 +11,9 @@ every envelope straight through.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ValidationError
 from repro.common.events import EventBus
 from repro.common.ids import DeterministicIdGenerator
 from repro.common.metrics import MetricsRegistry
@@ -21,6 +21,7 @@ from repro.consensus.scheduler import SCHEDULER_NAMES
 from repro.middleware.base import Handler, Middleware, TransactionPipeline
 from repro.middleware.cache import ReadCacheMiddleware, SharedReadCache
 from repro.middleware.metrics import MetricsMiddleware
+from repro.middleware.query import QueryPlannerMiddleware
 from repro.middleware.retry import RetryMiddleware, RetryPolicy
 from repro.middleware.sharding import ShardRouterMiddleware
 from repro.middleware.tenancy import (
@@ -29,6 +30,7 @@ from repro.middleware.tenancy import (
     tenant_namespace,
 )
 from repro.middleware.tracing import RequestIdMiddleware
+from repro.query.indexes import validate_index_fields
 
 
 @dataclass
@@ -72,6 +74,14 @@ class PipelineConfig:
     #: (``commit_batch`` and ``chaincode_event_batch:*``) so invalidation
     #: keeps working when per-block fan-out is deferred to barrier flushes.
     parallel: bool = False
+    #: Field-value secondary indexes maintained on every peer's world state
+    #: (record fields, ``metadata.<key>`` or ``metadata.*``; empty = none).
+    #: Enables the query-planner middleware and, when the config is applied
+    #: to a deployment, ``FabricNetwork.enable_secondary_indexes``.
+    indexes: Tuple[str, ...] = ()
+    #: Allow sessions built from this config to register standing
+    #: commit-fed selectors (``session.subscribe``).
+    continuous_queries: bool = False
 
     def __post_init__(self) -> None:
         if self.retry_attempts < 1:
@@ -90,6 +100,13 @@ class PipelineConfig:
             )
         if self.tenant:
             tenant_namespace(self.tenant)  # validates the name
+        if self.indexes:
+            try:
+                self.indexes = validate_index_fields(self.indexes)
+            except ValidationError as error:
+                raise ConfigurationError(str(error)) from error
+        else:
+            self.indexes = ()
 
     # -------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, Any]:
@@ -112,6 +129,8 @@ class PipelineConfig:
             names.append("request-id")
         if self.metrics:
             names.append("metrics")
+        if self.indexes:
+            names.append("query-planner")
         if self.max_in_flight > 0:
             names.append("admission-control")
         if self.tenant:
@@ -155,6 +174,8 @@ def build_client_middlewares(
         middlewares.append(RequestIdMiddleware(id_generator=id_generator, events=events))
     if config.metrics and metrics is not None:
         middlewares.append(MetricsMiddleware(registry=metrics, clock=clock))
+    if config.indexes:
+        middlewares.append(QueryPlannerMiddleware(config.indexes, metrics=metrics))
     if config.max_in_flight > 0:
         middlewares.append(
             AdmissionControlMiddleware(

@@ -145,7 +145,7 @@ class ShardRouterMiddleware(Middleware):
         if not ok:
             return results[0]
         merged_rows = self._merge_payloads(
-            ctx.function, [self._payload(result) for result in ok]
+            ctx, [self._payload(result) for result in ok]
         )
         latency = max((self._latency(result) for result in ok), default=0.0)
         return self._rebuild(ok[0], merged_rows, latency)
@@ -184,18 +184,95 @@ class ShardRouterMiddleware(Middleware):
         return merged
 
     # -------------------------------------------------------------- merging
-    def _merge_payloads(self, function: str, payloads: List[str]) -> str:
-        rows: List[Any] = []
+    def _merge_payloads(self, ctx: Context, payloads: List[str]) -> str:
+        decoded_payloads: List[Any] = []
         for payload in payloads:
             try:
-                decoded = json.loads(payload)
+                decoded_payloads.append(json.loads(payload))
             except ValueError:
                 continue
-            if isinstance(decoded, list):
-                rows.extend(decoded)
-        if function == "getkeyhistory":
+        if ctx.function == "getkeyhistory":
+            rows = [
+                row
+                for decoded in decoded_payloads
+                if isinstance(decoded, list)
+                for row in decoded
+            ]
             return json.dumps(self._merge_history(rows))
+        if any(
+            isinstance(decoded, dict) and isinstance(decoded.get("records"), list)
+            for decoded in decoded_payloads
+        ):
+            return json.dumps(self._merge_envelopes(ctx, decoded_payloads))
+        rows = [
+            row
+            for decoded in decoded_payloads
+            if isinstance(decoded, list)
+            for row in decoded
+        ]
         return json.dumps(self._merge_keyed_rows(rows))
+
+    def _merge_envelopes(self, ctx: Context, decoded_payloads: List[Any]) -> dict:
+        """Merge per-shard pages into one page honouring the request limit.
+
+        Every shard resumed strictly after the same bookmark and returned
+        at most one page, so the union (dedup, key order) truncated to the
+        limit is exactly the global next page.  The merged bookmark is the
+        last returned key whenever any shard signalled more rows or the
+        union overflowed the limit — the same "possibly one empty trailing
+        page" contract the single-shard path has.  Per-shard plans are
+        kept under the merged plan so ``explain`` stays honest about the
+        fan-out.
+        """
+        rows: List[Any] = []
+        has_more = False
+        plans: List[Any] = []
+        for decoded in decoded_payloads:
+            if isinstance(decoded, list):  # a legacy-shaped shard response
+                rows.extend(decoded)
+                continue
+            if not isinstance(decoded, dict):
+                continue
+            records = decoded.get("records")
+            if isinstance(records, list):
+                rows.extend(records)
+            if decoded.get("bookmark"):
+                has_more = True
+            plan = decoded.get("plan")
+            if isinstance(plan, dict):
+                plans.append(plan)
+        merged = self._merge_keyed_rows(rows)
+        limit = self._request_limit(ctx)
+        if limit and len(merged) > limit:
+            merged = merged[:limit]
+            has_more = True
+        bookmark = merged[-1]["key"] if has_more and merged else None
+        envelope: dict = {"records": merged, "bookmark": bookmark}
+        if plans:
+            paths = {plan.get("access_path") for plan in plans}
+            envelope["plan"] = {
+                "access_path": paths.pop() if len(paths) == 1 else "mixed",
+                "fan_out": len(plans),
+                "shards": plans,
+            }
+        return envelope
+
+    @staticmethod
+    def _request_limit(ctx: Context) -> int:
+        """The page limit the caller asked for (0 = unlimited)."""
+        try:
+            if ctx.function == "query" and ctx.args:
+                selector = json.loads(ctx.args[0])
+                if isinstance(selector, dict):
+                    limit = selector.get("_limit", 0)
+                    if isinstance(limit, int) and not isinstance(limit, bool):
+                        return max(0, limit)
+                return 0
+            if ctx.function == "getbyrange" and len(ctx.args) > 2 and ctx.args[2]:
+                return max(0, int(ctx.args[2]))
+        except (TypeError, ValueError):
+            return 0
+        return 0
 
     @staticmethod
     def _merge_history(entries: List[Any]) -> List[Any]:

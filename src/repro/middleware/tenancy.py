@@ -69,6 +69,8 @@ class TenantPrefixMiddleware(Middleware):
         result = call_next(ctx)
         if ctx.function == "query":
             return self._filter_query_result(result)
+        if ctx.function == "getbyrange":
+            return self._strip_result_bookmark(result)
         return result
 
     # ------------------------------------------------------------ rewriting
@@ -83,6 +85,9 @@ class TenantPrefixMiddleware(Middleware):
             ctx.args[0] = self.prefix + ctx.args[0]
             # An empty end key means "unbounded"; bound it to the namespace.
             ctx.args[1] = self.prefix + (ctx.args[1] or _RANGE_END_SENTINEL)
+            # Paginated form: the resume bookmark is a (tenant-relative) key.
+            if len(ctx.args) > 3 and ctx.args[3]:
+                ctx.args[3] = self.prefix + ctx.args[3]
         elif ctx.function == "query" and ctx.args:
             ctx.args[0] = self._namespace_selector_prefix(ctx.args[0])
         elif ctx.operation == "store_record" and ctx.args:
@@ -105,9 +110,12 @@ class TenantPrefixMiddleware(Middleware):
         existing = selector.get("_prefix", "")
         if not isinstance(existing, str):
             return encoded  # invalid _prefix type: chaincode rejects it
-        return json.dumps(
-            {**selector, "_prefix": self.prefix + existing}, sort_keys=True
-        )
+        namespaced = {**selector, "_prefix": self.prefix + existing}
+        bookmark = selector.get("_bookmark", "")
+        if isinstance(bookmark, str) and bookmark:
+            # Bookmarks are ledger keys; clients hold them tenant-relative.
+            namespaced["_bookmark"] = self.prefix + bookmark
+        return json.dumps(namespaced, sort_keys=True)
 
     def _prefix_dependency_json(self, encoded: str) -> str:
         try:
@@ -143,6 +151,8 @@ class TenantPrefixMiddleware(Middleware):
             rows = json.loads(payload)
         except ValueError:
             return result
+        if isinstance(rows, dict) and isinstance(rows.get("records"), list):
+            return self._filter_envelope(result, response, rows)
         if not isinstance(rows, list):
             return result
         kept = [
@@ -153,7 +163,51 @@ class TenantPrefixMiddleware(Middleware):
             return result
         if self.metrics is not None:
             self.metrics.counter("tenant.rows_filtered").inc(len(rows) - len(kept))
-        filtered = replace(response, payload=json.dumps(kept))
+        return self._replace_payload(result, response, json.dumps(kept))
+
+    def _filter_envelope(self, result: Any, response: Any, envelope: dict) -> Any:
+        """Paginated envelope: filter the page, un-namespace its bookmark."""
+        records = envelope["records"]
+        kept = [
+            row for row in records
+            if isinstance(row, dict) and str(row.get("key", "")).startswith(self.prefix)
+        ]
+        bookmark = envelope.get("bookmark")
+        stripped = self._strip_bookmark(bookmark)
+        if len(kept) == len(records) and stripped == bookmark:
+            return result
+        if self.metrics is not None and len(kept) != len(records):
+            self.metrics.counter("tenant.rows_filtered").inc(len(records) - len(kept))
+        payload = json.dumps({**envelope, "records": kept, "bookmark": stripped})
+        return self._replace_payload(result, response, payload)
+
+    def _strip_result_bookmark(self, result: Any) -> Any:
+        """Un-namespace the bookmark of a paginated ``getbyrange`` envelope."""
+        response = result[0] if isinstance(result, tuple) else result
+        payload = getattr(response, "payload", None)
+        if not isinstance(payload, str) or not payload.startswith("{"):
+            return result  # legacy list payload: no bookmark to rewrite
+        try:
+            envelope = json.loads(payload)
+        except ValueError:
+            return result
+        if not isinstance(envelope, dict):
+            return result
+        bookmark = envelope.get("bookmark")
+        stripped = self._strip_bookmark(bookmark)
+        if stripped == bookmark:
+            return result
+        payload = json.dumps({**envelope, "bookmark": stripped})
+        return self._replace_payload(result, response, payload)
+
+    def _strip_bookmark(self, bookmark: Any) -> Any:
+        if isinstance(bookmark, str) and bookmark.startswith(self.prefix):
+            return bookmark[len(self.prefix):]
+        return bookmark
+
+    @staticmethod
+    def _replace_payload(result: Any, response: Any, payload: str) -> Any:
+        filtered = replace(response, payload=payload)
         if isinstance(result, tuple):
             return (filtered,) + result[1:]
         return filtered

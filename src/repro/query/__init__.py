@@ -1,0 +1,39 @@
+"""Read-side query subsystem: secondary indexes, planner, continuous queries.
+
+Three layers over the ledger's committed state:
+
+* :mod:`repro.query.indexes` — field→value→keys secondary indexes,
+  maintained transactionally by :class:`~repro.ledger.world_state.WorldState`
+  on every committed put/delete.
+* :mod:`repro.query.planner` — a cost-aware planner that picks
+  index-intersection vs prefix-scope vs full scan for a multi-field
+  selector and returns an explainable :class:`~repro.query.planner.QueryPlan`.
+* :mod:`repro.query.continuous` — standing per-tenant selectors fed by the
+  same commit-event topics the read-cache invalidation consumes, fanning
+  matching committed records out to subscriber callbacks/queues.
+
+Selector compilation (shared by the scan path, the planner's residual
+filter and continuous queries) lives in :mod:`repro.query.selectors`.
+"""
+
+from repro.query.continuous import ContinuousQuery, ContinuousQueryRegistry
+from repro.query.indexes import FieldValueIndex
+from repro.query.planner import QueryPlan, build_plan
+from repro.query.selectors import (
+    RESERVED_SELECTOR_FIELDS,
+    SELECTOR_FIELD_DEFAULTS,
+    compile_selector,
+    split_selector,
+)
+
+__all__ = [
+    "ContinuousQuery",
+    "ContinuousQueryRegistry",
+    "FieldValueIndex",
+    "QueryPlan",
+    "RESERVED_SELECTOR_FIELDS",
+    "SELECTOR_FIELD_DEFAULTS",
+    "build_plan",
+    "compile_selector",
+    "split_selector",
+]

@@ -103,6 +103,78 @@ def test_unsubscribe_keeps_topic_with_remaining_subscribers():
     assert keep == [1]
 
 
+def test_cancel_inside_own_handler_does_not_skip_later_handlers():
+    """Regression: a handler cancelling its own subscription mid-publish
+    (the one-shot continuous-query cursor pattern) must not shift the
+    handler list under the iteration — every later handler still runs."""
+    bus = EventBus()
+    hits = []
+
+    def one_shot(_topic, _payload):
+        hits.append("one-shot")
+        first.cancel()
+
+    first = bus.subscribe("t", one_shot)
+    bus.subscribe("t", lambda *_: hits.append("second"))
+    bus.subscribe("t", lambda *_: hits.append("third"))
+    assert bus.publish("t") == 3
+    assert hits == ["one-shot", "second", "third"]
+    # The cancelled handler is genuinely gone on the next publish.
+    assert bus.publish("t") == 2
+    assert hits == ["one-shot", "second", "third", "second", "third"]
+
+
+def test_cancel_other_subscription_mid_publish_suppresses_it():
+    bus = EventBus()
+    hits = []
+    bus.subscribe("t", lambda *_: later.cancel())
+    later = bus.subscribe("t", lambda *_: hits.append("later"))
+    bus.publish("t")
+    assert hits == []
+    bus.publish("t")
+    assert hits == []
+
+
+def test_subscribe_during_publish_does_not_see_inflight_event():
+    bus = EventBus()
+    hits = []
+
+    def subscribe_more(_topic, _payload):
+        bus.subscribe("t", lambda *_: hits.append("new"))
+
+    bus.subscribe("t", subscribe_more)
+    assert bus.publish("t") == 1
+    assert hits == []
+    assert bus.publish("t") == 2
+    assert hits == ["new"]
+
+
+def test_cancel_is_idempotent_mid_and_post_publish():
+    bus = EventBus()
+
+    def cancel_twice(_topic, _payload):
+        subscription.cancel()
+        subscription.cancel()
+
+    subscription = bus.subscribe("t", cancel_twice)
+    bus.publish("t")
+    subscription.cancel()
+    assert bus.topic_count == 0
+
+
+def test_subscription_is_a_context_manager():
+    bus = EventBus()
+    hits = []
+    with bus.subscribe("t", lambda *_: hits.append(1)) as subscription:
+        assert subscription.active
+        bus.publish("t")
+    assert hits == [1]
+    assert not subscription.active
+    bus.publish("t")
+    assert hits == [1]
+    assert bus.topic_count == 0
+
+
 # -------------------------------------------------------------------- metrics
 def test_counter_increments_and_rejects_negative():
     registry = MetricsRegistry("test")

@@ -81,8 +81,11 @@ class TestClientPipeline:
         assert cache is not None
         client.configure_pipeline(PipelineConfig(cache=False))
         assert client.read_cache is None
-        # The old cache unsubscribed from the network bus on close.
-        assert not cache._subscriptions
+        # The old cache unsubscribed from the network bus on close: no
+        # handler remains on the chaincode-event topic it invalidated on.
+        from repro.middleware.cache import PROVENANCE_RECORDED_TOPIC
+
+        assert PROVENANCE_RECORDED_TOPIC not in desktop_deployment.fabric.events.topics()
 
 
 class TestBaselinePipelines:

@@ -1,0 +1,53 @@
+"""Secondary indexes must not move simulated time.
+
+Every query access path costs exactly one state operation in the device
+cost model, so running the same workload with indexes on and off must
+produce byte-identical virtual-time results — same engine clock, same
+latencies, same payloads.  This is the no-drift acceptance gate for the
+read-side query subsystem.
+"""
+
+from repro.api.protocol import StoreRequest
+from repro.core.topology import build_desktop_deployment
+from repro.middleware.config import PipelineConfig
+
+
+def run_workload(indexed: bool):
+    deployment = build_desktop_deployment(seed=42)
+    if indexed:
+        deployment.client.configure_pipeline(
+            PipelineConfig(indexes=("creator", "metadata.*"))
+        )
+    store = deployment.client.as_store()
+    for i in range(8):
+        store.submit(
+            StoreRequest(
+                key=f"vt/{i}",
+                data=f"payload-{i}".encode(),
+                metadata={"group": i % 2, "hot": i % 4 == 0},
+            )
+        )
+    deployment.drain()
+    client = deployment.client
+    observations = []
+    for result in [
+        client.query_records({"metadata.group": 1}),
+        client.query_records({"creator": "hyperprov-client", "metadata.hot": True}),
+        client.query_records({"_prefix": "vt/"}, limit=3),
+        client.query_records({"_prefix": "vt/"}, limit=3, bookmark="vt/2"),
+        client.get_by_range("vt/", "vt/~"),
+        client.get_by_range("vt/", "vt/~", limit=4),
+    ]:
+        observations.append(
+            (
+                [(row["key"], row["record"].to_json()) for row in result.payload],
+                round(result.latency_s, 12),
+                result.bookmark,
+            )
+        )
+    observations.append(round(deployment.engine.now, 12))
+    return observations
+
+
+def test_virtual_time_is_byte_identical_with_indexes_on_and_off():
+    assert run_workload(indexed=False) == run_workload(indexed=True)
