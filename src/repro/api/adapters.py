@@ -143,7 +143,9 @@ class HyperProvStore(_StoreBase):
     # --------------------------------------------------------------- reads
     def get(self, key: str, at_time: Optional[float] = None) -> RecordView:
         query = self.client._get_impl(key, at_time=at_time)
-        return RecordView.from_record(query.payload, latency_s=query.latency_s)
+        return RecordView.from_record(
+            query.payload, latency_s=query.latency_s, stale=query.stale
+        )
 
     def history(self, key: str, at_time: Optional[float] = None) -> HistoryView:
         query = self.client._get_key_history_impl(key, at_time=at_time)

@@ -94,11 +94,19 @@ class RecordView:
     size_bytes: int
     #: End-to-end latency of the read that produced this view (seconds).
     latency_s: float = 0.0
+    #: True when the result was served from the stale-read archive because
+    #: the authoritative peer was unreachable (never silently fresh).
+    stale: bool = False
     #: The underlying backend record (shared across all three backends).
     record: Optional[ProvenanceRecord] = None
 
     @classmethod
-    def from_record(cls, record: ProvenanceRecord, latency_s: float = 0.0) -> "RecordView":
+    def from_record(
+        cls,
+        record: ProvenanceRecord,
+        latency_s: float = 0.0,
+        stale: bool = False,
+    ) -> "RecordView":
         return cls(
             key=record.key,
             checksum=record.checksum,
@@ -110,6 +118,7 @@ class RecordView:
             timestamp=record.timestamp,
             size_bytes=record.size_bytes,
             latency_s=latency_s,
+            stale=stale,
             record=record,
         )
 

@@ -18,6 +18,7 @@ Module           Reproduces
 ``perf``             Wall-clock simulated-tx/s of the hot paths (BENCH_PERF.json)
 ``fleet``            Parallel vs sequential fleet executor (speedup + anchor)
 ``query``            Indexed vs scan selector throughput + continuous delivery
+``chaos``            Deterministic fault-injection scenarios with invariants
 ===============  ==========================================================
 
 Run ``python -m repro.bench <experiment>`` or use the pytest-benchmark
@@ -41,6 +42,7 @@ from repro.bench.ablation_sharding import (
     run_sharding_ablation,
 )
 from repro.bench.perf import run_perf
+from repro.bench.chaos import run_chaos
 from repro.bench.fleet import run_fleet
 from repro.bench.query_bench import run_query_bench
 from repro.bench.resource_usage import run_resource_usage
@@ -65,6 +67,7 @@ __all__ = [
     "run_sharding_ablation",
     "run_fairness_comparison",
     "run_perf",
+    "run_chaos",
     "run_fleet",
     "run_query_bench",
     "run_resource_usage",

@@ -23,6 +23,11 @@ from repro.bench import (
     run_resource_usage,
     run_sharding_ablation,
 )
+from repro.bench.chaos import (
+    check_chaos_anchors,
+    run_chaos,
+    write_chaos_entry,
+)
 from repro.bench.fleet import (
     check_fleet_anchor,
     run_fleet,
@@ -271,6 +276,40 @@ def _run_fleet(args: argparse.Namespace) -> str:
     return rendered
 
 
+def _run_chaos(args: argparse.Namespace) -> str:
+    import json
+
+    # Same load-before-write discipline as _run_perf: with the default
+    # --perf-output the baseline and the output are the same file.
+    baseline_data = None
+    if args.perf_baseline:
+        baseline = Path(args.perf_baseline)
+        try:
+            baseline_data = json.loads(baseline.read_text())
+        except (OSError, ValueError) as exc:
+            raise PerfRegressionError(
+                f"chaos baseline {baseline} is unreadable: {exc!r}"
+            ) from exc
+
+    report = run_chaos(smoke=args.smoke, seed=args.chaos_seed)
+    output = Path(args.perf_output)
+    write_chaos_entry(report, output)
+    table = report.to_table()
+    table.add_note(f"written to {output} (chaos section)")
+    rendered = table.render()
+    if baseline_data is not None:
+        failures = check_chaos_anchors(report, baseline_data)
+        if failures:
+            raise PerfRegressionError(
+                f"chaos determinism gate vs {args.perf_baseline}:\n"
+                + "\n".join(f"  - {f}" for f in failures)
+            )
+        rendered += (
+            f"\nchaos gate: every scenario anchor matches {args.perf_baseline}"
+        )
+    return rendered
+
+
 def _run_query(args: argparse.Namespace) -> str:
     report = run_query_bench(
         key_scales=tuple(args.query_keys),
@@ -310,6 +349,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "perf": _run_perf,
     "fleet": _run_fleet,
     "query": _run_query,
+    "chaos": _run_chaos,
     "resources": _run_resources,
 }
 
@@ -460,6 +500,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
         help="indexed-vs-scan wall-clock speedup the largest key scale "
              f"must reach before the gate fails (default: {DEFAULT_MIN_SPEEDUP})",
+    )
+    chaos = parser.add_argument_group(
+        "chaos", "fault-injection scenario configuration for the chaos "
+                 "experiment (shares --perf-output/--perf-baseline; the "
+                 "gate checks per-scenario determinism anchors)"
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="run each chaos scenario once instead of the double-pass "
+             "determinism check (the CI shape — determinism is then gated "
+             "against the committed anchors via --perf-baseline)",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=_positive_int, default=42,
+        help="seed for the chaos deployments and fault plans (default: 42; "
+             "changing it changes every anchor, so the baseline gate only "
+             "applies at the committed seed)",
     )
     return parser
 

@@ -26,6 +26,9 @@ class Subscription:
     handler: EventHandler
     bus: "EventBus" = field(repr=False)
     active: bool = True
+    #: Monotonic join ticket assigned by the bus; a publish only delivers
+    #: to subscriptions whose stamp predates the publish.
+    stamp: int = 0
 
     def cancel(self) -> None:
         """Stop receiving events for this subscription (idempotent).
@@ -72,6 +75,9 @@ class EventBus:
         self._publishing: int = 0
         #: topics with cancelled subscriptions awaiting the deferred sweep.
         self._dirty_topics: Set[str] = set()
+        #: next join ticket; publishes snapshot it so handlers subscribed
+        #: mid-publish never see the in-flight event, on *any* topic.
+        self._next_stamp: int = 0
 
     @property
     def published_count(self) -> int:
@@ -85,7 +91,10 @@ class EventBus:
 
     def subscribe(self, topic: str, handler: EventHandler) -> Subscription:
         """Register ``handler`` for ``topic`` and return a cancellable handle."""
-        subscription = Subscription(topic=topic, handler=handler, bus=self)
+        subscription = Subscription(
+            topic=topic, handler=handler, bus=self, stamp=self._next_stamp
+        )
+        self._next_stamp += 1
         self._handlers.setdefault(topic, []).append(subscription)
         return subscription
 
@@ -134,13 +143,20 @@ class EventBus:
         # Walk the live list up to its length at publish time: removals
         # are deferred while we iterate (indices stay stable, no per-call
         # copy) and subscribers added mid-publish land past the snapshot
-        # length so they only see subsequent events.
+        # length so they only see subsequent events.  The join-stamp check
+        # makes that exclusion structural rather than positional: a fault
+        # handler subscribing mid-publish (possibly to a topic a *nested*
+        # publish is about to fire) must never receive the in-flight event,
+        # even when a deferred sweep has renumbered list positions.
         snapshot_length = len(handlers)
+        stamp_limit = self._next_stamp
         self._publishing += 1
         try:
             for position in range(snapshot_length):
                 subscription = handlers[position]
                 if not subscription.active:
+                    continue
+                if subscription.stamp >= stamp_limit:
                     continue
                 try:
                     subscription.handler(topic, payload)

@@ -61,6 +61,7 @@ class OrderingService(ABC):
         self._previous_hash = GENESIS_PREVIOUS_HASH
         self._timeout_event = None
         self._pump_event = None
+        self._stalled = False
         self.blocks_delivered = 0
         self.transactions_ordered = 0
 
@@ -81,8 +82,38 @@ class OrderingService(ABC):
         self.scheduler.enqueue(tx, now=self.engine.now)
         self._pump()
 
+    def stall(self) -> None:
+        """Freeze intake (fault injection): submissions queue but are not
+        fed to the cutter, modelling an orderer whose ingest path wedged.
+
+        Already-cut batches still deliver and the batch timeout still
+        fires — only the scheduler→cutter pump stops.  ``flush`` becomes a
+        no-op while stalled, so a drain leaves the backlog in place and
+        reports ``"deadlock"`` instead of silently ordering it.
+        """
+        if self._stalled:
+            return
+        self._stalled = True
+        if self._pump_event is not None:
+            self._pump_event.cancel()
+            self._pump_event = None
+        self.metrics.counter("stalls").inc()
+
+    def resume(self) -> None:
+        """Un-freeze intake and pump any backlog that accumulated."""
+        if not self._stalled:
+            return
+        self._stalled = False
+        self._pump()
+
+    @property
+    def stalled(self) -> bool:
+        return self._stalled
+
     def _pump(self) -> None:
         """Feed queued transactions from the scheduler into the cutter."""
+        if self._stalled:
+            return
         if self.intake_interval_s <= 0:
             while True:
                 tx = self.scheduler.next_transaction()
@@ -136,8 +167,11 @@ class OrderingService(ABC):
 
         Drains the intake scheduler (regardless of any intake interval)
         into the cutter first, then force-cuts — the drain-time semantics
-        benchmarks rely on.
+        benchmarks rely on.  A stalled orderer refuses to flush: the
+        backlog stays queued until :meth:`resume`.
         """
+        if self._stalled:
+            return
         if self._pump_event is not None:
             self._pump_event.cancel()
             self._pump_event = None

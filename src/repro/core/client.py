@@ -62,6 +62,9 @@ class QueryResult:
     bookmark: Optional[str] = None
     #: The planner's access-path report, when the query asked to explain.
     plan: Optional[Dict[str, Any]] = None
+    #: Degraded-mode marker: the peer was unreachable and this result was
+    #: served from the client's last-known-good archive (``stale_reads``).
+    stale: bool = False
 
 
 @dataclass
@@ -169,6 +172,7 @@ class HyperProvClient:
             metrics=self.metrics,
             cache_events=cache_events,
             shared_cache_store=self.shared_cache,
+            engine=self.network.engine,
         )
 
     def configure_pipeline(self, config: PipelineConfig) -> None:
@@ -224,6 +228,7 @@ class HyperProvClient:
             at_time=ctx.at_time,
             payload_size_bytes=ctx.payload_size_bytes,
             shard=shard,
+            deadline_at=ctx.tags.get("deadline_at"),
         )
 
     def _query(
@@ -232,8 +237,13 @@ class HyperProvClient:
         function: str,
         args: List[str],
         at_time: Optional[float] = None,
-    ) -> "tuple[ProposalResponse, float]":
-        """Run a read-only operator through the pipeline."""
+    ) -> "tuple[ProposalResponse, float, Context]":
+        """Run a read-only operator through the pipeline.
+
+        Returns the response, the observed latency, and the drained
+        context — callers surface degraded-mode markers (``ctx.stale``)
+        on their results.
+        """
         ctx = Context(
             operation=operation,
             kind=OperationKind.READ,
@@ -243,7 +253,8 @@ class HyperProvClient:
             client_name=self.client_name,
             at_time=at_time,
         )
-        return self.pipeline.execute(ctx)
+        response, latency = self.pipeline.execute(ctx)
+        return response, latency, ctx
 
     def _invoke(
         self,
@@ -352,11 +363,15 @@ class HyperProvClient:
         return self._get_impl(key, at_time=at_time)
 
     def _get_impl(self, key: str, at_time: Optional[float] = None) -> QueryResult:
-        response, latency = self._query("get", "get", [key], at_time=at_time)
+        response, latency, ctx = self._query("get", "get", [key], at_time=at_time)
         if not response.is_ok or response.payload is None:
             raise NotFoundError(response.message or f"key {key!r} not found")
         self.metrics.histogram("get_latency_s").observe(latency)
-        return QueryResult(payload=ProvenanceRecord.from_json(response.payload), latency_s=latency)
+        return QueryResult(
+            payload=ProvenanceRecord.from_json(response.payload),
+            latency_s=latency,
+            stale=ctx.stale,
+        )
 
     def get_key_history(self, key: str, at_time: Optional[float] = None) -> QueryResult:
         """Every recorded version of ``key`` (oldest first).
@@ -369,7 +384,7 @@ class HyperProvClient:
     def _get_key_history_impl(
         self, key: str, at_time: Optional[float] = None
     ) -> QueryResult:
-        response, latency = self._query(
+        response, latency, ctx = self._query(
             "get_key_history", "getkeyhistory", [key], at_time=at_time
         )
         if not response.is_ok or response.payload is None:
@@ -388,7 +403,7 @@ class HyperProvClient:
                     }
                 )
         self.metrics.histogram("history_latency_s").observe(latency)
-        return QueryResult(payload=records, latency_s=latency)
+        return QueryResult(payload=records, latency_s=latency, stale=ctx.stale)
 
     def check_hash(
         self,
@@ -413,22 +428,24 @@ class HyperProvClient:
             checksum = checksum_of(data_or_checksum)
         else:
             checksum = str(data_or_checksum)
-        response, latency = self._query(
+        response, latency, ctx = self._query(
             "check_hash", "checkhash", [key, checksum], at_time=at_time
         )
         if not response.is_ok or response.payload is None:
             raise NotFoundError(response.message or f"key {key!r} not found")
         matches = json.loads(response.payload)["matches"]
-        return QueryResult(payload=bool(matches), latency_s=latency)
+        return QueryResult(payload=bool(matches), latency_s=latency, stale=ctx.stale)
 
     def get_dependencies(self, key: str, at_time: Optional[float] = None) -> QueryResult:
         """Dependency list of the latest record for ``key``."""
-        response, latency = self._query(
+        response, latency, ctx = self._query(
             "get_dependencies", "getdependencies", [key], at_time=at_time
         )
         if not response.is_ok or response.payload is None:
             raise NotFoundError(response.message or f"key {key!r} not found")
-        return QueryResult(payload=json.loads(response.payload), latency_s=latency)
+        return QueryResult(
+            payload=json.loads(response.payload), latency_s=latency, stale=ctx.stale
+        )
 
     def query_records(
         self,
@@ -455,7 +472,7 @@ class HyperProvClient:
             request["_bookmark"] = bookmark
         if explain:
             request["_explain"] = True
-        response, latency = self._query(
+        response, latency, ctx = self._query(
             "query_records", "query", [json.dumps(request, sort_keys=True)],
             at_time=at_time,
         )
@@ -474,8 +491,9 @@ class HyperProvClient:
                 latency_s=latency,
                 bookmark=decoded.get("bookmark"),
                 plan=decoded.get("plan"),
+                stale=ctx.stale,
             )
-        return QueryResult(payload=records, latency_s=latency)
+        return QueryResult(payload=records, latency_s=latency, stale=ctx.stale)
 
     def on_provenance_recorded(self, callback) -> None:
         """Subscribe to the chaincode event emitted on every committed ``set``.
@@ -509,7 +527,7 @@ class HyperProvClient:
         if limit is not None or bookmark is not None:
             args.append(str(limit) if limit is not None else "0")
             args.append(bookmark or "")
-        response, latency = self._query(
+        response, latency, ctx = self._query(
             "get_by_range", "getbyrange", args, at_time=at_time
         )
         if not response.is_ok or response.payload is None:
@@ -523,9 +541,12 @@ class HyperProvClient:
         ]
         if isinstance(decoded, dict):
             return QueryResult(
-                payload=records, latency_s=latency, bookmark=decoded.get("bookmark")
+                payload=records,
+                latency_s=latency,
+                bookmark=decoded.get("bookmark"),
+                stale=ctx.stale,
             )
-        return QueryResult(payload=records, latency_s=latency)
+        return QueryResult(payload=records, latency_s=latency, stale=ctx.stale)
 
     # ------------------------------------------------------------ store_data
     def _require_storage(self) -> ContentAddressedStore:

@@ -19,11 +19,12 @@ across shards via the :class:`~repro.middleware.sharding.ShardRouterMiddleware`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import (
     ConfigurationError,
     EndorsementError,
+    NetworkError,
     NotFoundError,
 )
 from repro.common.events import EventBus
@@ -51,7 +52,7 @@ from repro.middleware.stages import (
     SubmitToOrdererStage,
 )
 from repro.network.fabric import NetworkFabric
-from repro.simulation.engine import SimulationEngine
+from repro.simulation.engine import RunOutcome, SimulationEngine
 
 
 @dataclass
@@ -156,6 +157,10 @@ class FabricNetwork:
         #: ``set_scheduler`` falls back to these so a policy swap through
         #: a PipelineConfig does not silently reset custom weights.
         self.default_scheduler_weights: Optional[Dict[str, float]] = None
+        #: Peer processes currently crashed (fault injection): they endorse
+        #: nothing, serve no queries and miss block deliveries until
+        #: :meth:`restart_peer` brings them back and re-syncs their ledgers.
+        self._offline_peers: Set[str] = set()
         self.add_channel(
             channel,
             orderer=orderer,
@@ -348,6 +353,7 @@ class FabricNetwork:
         at_time: Optional[float] = None,
         payload_size_bytes: int = 0,
         shard: int = 0,
+        deadline_at: Optional[float] = None,
     ) -> TransactionHandle:
         """Run the full invoke flow for one transaction on one shard.
 
@@ -355,6 +361,10 @@ class FabricNetwork:
         handle completes when the client's anchor peer commits the block
         containing the transaction.  Call ``engine.run_until_idle()`` (or
         the harness's drain helper) to make pending batches flush.
+
+        ``deadline_at`` is an absolute virtual-time budget: the submit
+        stage refuses to hand the envelope to the orderer past it (the
+        handle completes invalid and ``DeadlineExceededError`` is raised).
         """
         context = self.client_context(client_name)
         target = self.shard(shard)
@@ -364,14 +374,16 @@ class FabricNetwork:
             self.engine.schedule_at(
                 at_time,
                 lambda: self._run_invoke(
-                    context, chaincode, function, args, handle, payload_size_bytes, target
+                    context, chaincode, function, args, handle, payload_size_bytes,
+                    target, deadline_at,
                 ),
                 label=f"submit:{handle.tx_id}",
             )
             return handle
         handle = self._make_handle(start, function, target)
         self._run_invoke(
-            context, chaincode, function, args, handle, payload_size_bytes, target
+            context, chaincode, function, args, handle, payload_size_bytes,
+            target, deadline_at,
         )
         return handle
 
@@ -448,6 +460,7 @@ class FabricNetwork:
         handle: TransactionHandle,
         payload_size_bytes: int,
         shard: ChannelShard,
+        deadline_at: Optional[float] = None,
     ) -> None:
         """Run one invoke through the shard's staged pipeline.
 
@@ -464,6 +477,8 @@ class FabricNetwork:
             client_name=context.name,
             payload_size_bytes=payload_size_bytes,
         )
+        if deadline_at is not None:
+            ctx.tags["deadline_at"] = deadline_at
         ctx.tags["invoke"] = InvokeState(
             client_context=context,
             handle=handle,
@@ -524,19 +539,91 @@ class FabricNetwork:
         for shard in self._shards:
             shard.orderer.intake_interval_s = interval_s
 
+    # ------------------------------------------------------ fault injection
+    def crash_peer(self, name: str) -> None:
+        """Take a peer process offline (all shards hosting it).
+
+        A crashed peer endorses nothing, answers no queries and misses
+        every block delivery; its ledgers survive on disk, so
+        :meth:`restart_peer` recovers by replaying the missed blocks.
+        """
+        self.peer(name)  # validates the name
+        self._offline_peers.add(name)
+        self.metrics.counter("peer_crashes").inc()
+
+    def restart_peer(self, name: str, at_time: Optional[float] = None) -> None:
+        """Bring a crashed peer back and re-sync its ledgers (state recovery).
+
+        Every shard hosting the peer replays the blocks it missed, in
+        order, completing any client handles whose anchor this peer is.
+        """
+        self.peer(name)
+        self._offline_peers.discard(name)
+        now = self.engine.now if at_time is None else at_time
+        for shard in self._shards:
+            peer = shard.peers.get(name)
+            if peer is None:
+                continue
+            tip = len(shard.ordered_blocks)
+            if peer.ledger_height < tip:
+                self._catch_up_peer(shard, peer, now, up_to=tip)
+        self.metrics.counter("peer_restarts").inc()
+
+    def offline_peers(self) -> Set[str]:
+        """Names of peers currently crashed."""
+        return set(self._offline_peers)
+
+    def catch_up_peers(self, at_time: Optional[float] = None) -> int:
+        """Re-sync every reachable, online peer to its shard's chain tip.
+
+        Called by the fault injector right after a partition heals: without
+        it a previously isolated peer only catches up when the *next* block
+        happens to be ordered, which may never come — leaving its clients'
+        handles pending and the drain reporting a false ``"deadlock"``.
+        Returns the number of peer-ledgers that were behind.
+        """
+        now = self.engine.now if at_time is None else at_time
+        behind = 0
+        for shard in self._shards:
+            tip = len(shard.ordered_blocks)
+            for name in sorted(shard.peers):
+                if name in self._offline_peers:
+                    continue
+                if not self.network.partitions.can_communicate(
+                    shard.orderer_node, name
+                ):
+                    continue
+                peer = shard.peers[name]
+                if peer.ledger_height < tip:
+                    self._catch_up_peer(shard, peer, now, up_to=tip)
+                    behind += 1
+        return behind
+
     def _collect_endorsements(
         self,
         context: _ClientContext,
         proposal: Proposal,
         sent_at: float,
         shard: ChannelShard,
-    ) -> Tuple[List[ProposalResponse], float]:
+    ) -> Tuple[List[ProposalResponse], float, int]:
+        """Gather endorsements; also reports how many peers were reachable.
+
+        ``reachable`` counts endorsing peers the client could transport to
+        (online, same partition) regardless of whether they endorsed — the
+        collect stage uses it to distinguish a policy failure (peers
+        answered, none valid) from a pure transport failure (nobody was
+        even reachable), which surfaces as a retryable network error.
+        """
         responses: List[ProposalResponse] = []
         completion_times: List[float] = []
+        reachable = 0
         for peer_name in self._endorsing_peer_names(shard):
             peer = shard.peers[peer_name]
+            if peer_name in self._offline_peers:
+                continue
             if not self.network.partitions.can_communicate(context.host_node, peer_name):
                 continue
+            reachable += 1
             to_peer = self.network.estimate_transfer_time(
                 context.host_node, peer_name, proposal.size_bytes
             )
@@ -550,8 +637,8 @@ class FabricNetwork:
             responses.append(response)
             completion_times.append(ready_at + back)
         if not completion_times:
-            return responses, sent_at
-        return responses, max(completion_times)
+            return responses, sent_at, reachable
+        return responses, max(completion_times), reachable
 
     def _submit_to_orderer(
         self,
@@ -580,6 +667,13 @@ class FabricNetwork:
             )
 
         shard_peers = self.shard_peers(shard_index)
+        if self._offline_peers:
+            # Crashed peer processes miss the delivery entirely; they
+            # re-sync through _catch_up_peer on restart.
+            offline = [p for p in shard_peers if p.name in self._offline_peers]
+            for _ in offline:
+                self.metrics.counter("missed_deliveries").inc()
+            shard_peers = [p for p in shard_peers if p.name not in self._offline_peers]
         if self.config.use_gossip:
             arrivals = self.gossip.disseminate(
                 shard.orderer_node, shard_peers, block.size_bytes, sent_at
@@ -652,14 +746,24 @@ class FabricNetwork:
     def _catch_up_peer(
         self, shard: ChannelShard, peer: Peer, at_time: float, up_to: int
     ) -> None:
-        """Deliver any blocks the peer missed before ``up_to`` (in order)."""
+        """Deliver any blocks the peer missed before ``up_to`` (in order).
+
+        Handles anchored on this peer complete as each missed block lands:
+        a client whose anchor sat out a partition must see its commits
+        resolve on heal, not whenever the next fresh block happens by.
+        """
         while peer.ledger_height < up_to:
             missed = shard.ordered_blocks[peer.ledger_height]
             transfer = self.network.estimate_transfer_time(
                 shard.orderer_node, peer.name, missed.size_bytes
             )
-            peer.deliver_block(missed, at_time + transfer)
+            result = peer.deliver_block(missed, at_time + transfer)
             self.metrics.counter("catch_up_blocks").inc()
+            catch_up_commits = {peer.name: result}
+            if self.config.batch_commit_delivery:
+                self._complete_handles_indexed(missed, catch_up_commits)
+            else:
+                self._complete_handles(missed, catch_up_commits)
 
     def _complete_handles(self, block: Block, commit_results: Dict[str, CommitResult]) -> None:
 
@@ -795,6 +899,8 @@ class FabricNetwork:
         peer = target.peers.get(target_name)
         if peer is None:
             raise NotFoundError(f"unknown peer {target_name!r} on shard {shard}")
+        if target_name in self._offline_peers:
+            raise NetworkError(f"peer {target_name!r} is down (crashed)")
         handle = self._make_handle(start, function, target)
         proposal = self._build_proposal(
             context, handle, chaincode, function, args, 0,
@@ -815,27 +921,36 @@ class FabricNetwork:
         return response, latency
 
     # -------------------------------------------------------------- helpers
-    def flush_and_drain(self, max_events: int = 1_000_000) -> None:
+    def flush_and_drain(self, max_events: int = 1_000_000) -> RunOutcome:
         """Force pending batches out and run the simulation until idle.
 
         Commit callbacks may submit new transactions (closed-loop
         benchmarks), which re-queue envelopes in the endorsement batchers —
         so keep alternating flush/run rounds until every shard's batcher
         and orderer are empty and the engine stays idle.
+
+        Returns a :class:`~repro.simulation.engine.RunOutcome`: stop reason
+        ``"idle"`` when every registered handle resolved, ``"deadlock"``
+        when the engine has nothing left to do but handles are still
+        in flight — a partition that never healed, a crashed anchor peer,
+        or a stalled orderer holding its backlog.  Chaos scenarios assert
+        on this instead of hanging.
         """
-        self.engine.run_until_idle(max_events=max_events)
+        executed = int(self.engine.run_until_idle(max_events=max_events))
         while True:
             flushed = sum(shard.batcher.flush() for shard in self._shards)
             if flushed:
-                self.engine.run_until_idle(max_events=max_events)
+                executed += int(self.engine.run_until_idle(max_events=max_events))
                 continue
             for shard in self._shards:
                 shard.orderer.flush()
-            self.engine.run_until_idle(max_events=max_events)
+            executed += int(self.engine.run_until_idle(max_events=max_events))
             if not any(shard.batcher.queued for shard in self._shards):
                 break
         if self.config.batch_commit_delivery:
             self.flush_commit_events()
+        reason = "deadlock" if self.in_flight() > 0 else "idle"
+        return RunOutcome(executed, reason)
 
     def ledger_heights(self) -> Dict[str, int]:
         """Per-peer block height summed across every hosted channel.

@@ -1,0 +1,32 @@
+"""Deterministic fault-injection subsystem.
+
+Declarative :class:`FaultPlan` schedules (partitions, crashes, orderer
+stalls, degraded links, byzantine rewrites, device churn) applied to a
+running deployment by the :class:`FaultInjector` in virtual time —
+byte-reproducible given the same plan, seed and deployment.
+"""
+
+from repro.faults.injector import FAULT_INJECTED_TOPIC, FaultInjector
+from repro.faults.plan import (
+    ByzantineFault,
+    ChurnFault,
+    Fault,
+    FaultPlan,
+    LinkDegradeFault,
+    OrdererStallFault,
+    PartitionFault,
+    PeerCrashFault,
+)
+
+__all__ = [
+    "FAULT_INJECTED_TOPIC",
+    "ByzantineFault",
+    "ChurnFault",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegradeFault",
+    "OrdererStallFault",
+    "PartitionFault",
+    "PeerCrashFault",
+]

@@ -9,10 +9,15 @@ from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Optional, Tuple
 
+from repro.common.errors import CircuitOpenError, NetworkError
 from repro.common.events import EventBus
 from repro.common.metrics import MetricsRegistry
 from repro.middleware.base import Handler, Middleware
 from repro.middleware.context import Context
+
+#: Failures the stale-read fallback may answer for (transport-class only:
+#: an application error must always propagate).
+UNREACHABLE_ERRORS = (NetworkError, CircuitOpenError)
 
 #: Topic carrying the chaincode event every committed ``set`` emits.
 PROVENANCE_RECORDED_TOPIC = "chaincode_event:provenance_recorded"
@@ -125,6 +130,14 @@ class ReadCacheMiddleware(Middleware):
     pass ``store`` to share one cache tier across several pipelines (the
     ``shared_cache`` pipeline knob) — the store then outlives any single
     pipeline and ``close()`` only drops this middleware's subscriptions.
+
+    With ``serve_stale=True`` the middleware additionally keeps a
+    *stale archive*: the last successful result per read, LRU-bounded but
+    **never** invalidated by commits.  When the authoritative peer is
+    unreachable (partition, crashed peer, open circuit) a read that would
+    otherwise fail is answered from the archive with ``ctx.stale = True``
+    — graceful degradation with an explicit marker, never silently passed
+    off as fresh.
     """
 
     name = "read-cache"
@@ -136,14 +149,19 @@ class ReadCacheMiddleware(Middleware):
         events: Optional[EventBus] = None,
         metrics: Optional[MetricsRegistry] = None,
         store: Optional[SharedReadCache] = None,
+        serve_stale: bool = False,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
         self.capacity = capacity
         self.hit_latency_s = hit_latency_s
         self.metrics = metrics
+        self.serve_stale = serve_stale
         self._owns_store = store is None
         self.store = store if store is not None else SharedReadCache(capacity)
+        #: Last-known-good results for the stale fallback (commit events
+        #: never touch this; only LRU pressure evicts).
+        self._stale_archive: "OrderedDict[CacheKey, Any]" = OrderedDict()
         #: Subscriptions are context managers; the stack cancels every one
         #: on close even if an individual cancel raises.
         self._subscriptions = ExitStack()
@@ -181,6 +199,7 @@ class ReadCacheMiddleware(Middleware):
         self._subscriptions.close()
         if self._owns_store:
             self.store.clear()
+        self._stale_archive.clear()
 
     # ------------------------------------------------------------- pipeline
     def handle(self, ctx: Context, call_next: Handler) -> Any:
@@ -196,7 +215,21 @@ class ReadCacheMiddleware(Middleware):
             return self._hit_result(entry.result)
         if self.metrics is not None:
             self.metrics.counter("cache.misses").inc()
-        result = call_next(ctx)
+        if self.serve_stale:
+            try:
+                result = call_next(ctx)
+            except UNREACHABLE_ERRORS:
+                archived = self._stale_archive.get(key)
+                if archived is None:
+                    raise
+                self._stale_archive.move_to_end(key)
+                ctx.stale = True
+                ctx.timings["cache_lookup_s"] = self.hit_latency_s
+                if self.metrics is not None:
+                    self.metrics.counter("cache.stale_served").inc()
+                return self._hit_result(archived)
+        else:
+            result = call_next(ctx)
         self._store(ctx, key, result)
         return result
 
@@ -216,6 +249,11 @@ class ReadCacheMiddleware(Middleware):
         evicted = self.store.put(key, CacheEntry(result=result, keys=keys, broad=broad))
         if evicted and self.metrics is not None:
             self.metrics.counter("cache.evictions").inc(evicted)
+        if self.serve_stale:
+            self._stale_archive[key] = result
+            self._stale_archive.move_to_end(key)
+            while len(self._stale_archive) > self.capacity:
+                self._stale_archive.popitem(last=False)
 
     # --------------------------------------------------------- invalidation
     def invalidate_key(self, state_key: str) -> int:

@@ -22,6 +22,11 @@ from repro.middleware.base import Handler, Middleware, TransactionPipeline
 from repro.middleware.cache import ReadCacheMiddleware, SharedReadCache
 from repro.middleware.metrics import MetricsMiddleware
 from repro.middleware.query import QueryPlannerMiddleware
+from repro.middleware.resilience import (
+    CircuitBreakerMiddleware,
+    DeadlineMiddleware,
+    StoreAndForwardMiddleware,
+)
 from repro.middleware.retry import RetryMiddleware, RetryPolicy
 from repro.middleware.sharding import ShardRouterMiddleware
 from repro.middleware.tenancy import (
@@ -31,6 +36,12 @@ from repro.middleware.tenancy import (
 )
 from repro.middleware.tracing import RequestIdMiddleware
 from repro.query.indexes import validate_index_fields
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.randomness import DeterministicRandom
+
+#: Seed for the retry-jitter RNG stream (forked per tenant so colocated
+#: pipelines decorrelate while every run stays byte-reproducible).
+RETRY_JITTER_SEED = 20240807
 
 
 @dataclass
@@ -82,10 +93,54 @@ class PipelineConfig:
     #: Allow sessions built from this config to register standing
     #: commit-fed selectors (``session.subscribe``).
     continuous_queries: bool = False
+    #: Per-request virtual-time budget in seconds (0 = no deadline).
+    #: Reads finishing past it and writes whose envelope would reach the
+    #: orderer past it raise ``DeadlineExceededError``; retry backoffs
+    #: never restart an attempt beyond it.
+    deadline_s: float = 0.0
+    #: Symmetric jitter fraction on retry backoff delays (0 = the
+    #: historical deterministic schedule, no RNG draws).
+    retry_jitter: float = 0.0
+    #: Per-shard closed→open→half-open circuit breaker at the bottom of
+    #: the chain (cache hits bypass it).
+    circuit_breaker: bool = False
+    #: Consecutive transport failures that open one shard's circuit.
+    circuit_failure_threshold: int = 5
+    #: Virtual seconds an open circuit rejects calls before one half-open
+    #: probe is allowed through.
+    circuit_cooldown_s: float = 1.0
+    #: Queue unreachable writes locally and replay them on a virtual-time
+    #: interval (graceful degradation during partitions).
+    store_and_forward: bool = False
+    saf_replay_interval_s: float = 0.5
+    #: Replay attempts per queued write before it is abandoned (bounds
+    #: the replay loop when a partition never heals).
+    saf_max_replays: int = 64
+    #: Serve reads from the last-known-good archive with an explicit
+    #: ``stale=True`` marker when the peer is unreachable (needs
+    #: ``cache=True``).
+    stale_reads: bool = False
 
     def __post_init__(self) -> None:
         if self.retry_attempts < 1:
             raise ConfigurationError("retry_attempts must be >= 1")
+        if self.deadline_s < 0:
+            raise ConfigurationError("deadline_s must be >= 0")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ConfigurationError("retry_jitter must be in [0, 1)")
+        if self.circuit_failure_threshold < 1:
+            raise ConfigurationError("circuit_failure_threshold must be >= 1")
+        if self.circuit_cooldown_s <= 0:
+            raise ConfigurationError("circuit_cooldown_s must be > 0")
+        if self.saf_replay_interval_s <= 0:
+            raise ConfigurationError("saf_replay_interval_s must be > 0")
+        if self.saf_max_replays < 1:
+            raise ConfigurationError("saf_max_replays must be >= 1")
+        if self.stale_reads and not self.cache:
+            raise ConfigurationError(
+                "stale_reads needs cache=True (the stale archive lives in "
+                "the read-cache middleware)"
+            )
         if self.cache_capacity < 1:
             raise ConfigurationError("cache_capacity must be >= 1")
         if self.order_batch_size < 1:
@@ -135,12 +190,18 @@ class PipelineConfig:
             names.append("admission-control")
         if self.tenant:
             names.append("tenant-prefix")
+        if self.deadline_s > 0:
+            names.append("deadline")
+        if self.store_and_forward:
+            names.append("store-and-forward")
         if self.retry_attempts > 1:
             names.append("retry")
         if self.cache:
             names.append("read-cache")
         if self.shards > 1:
             names.append("shard-router")
+        if self.circuit_breaker:
+            names.append("circuit-breaker")
         return names
 
 
@@ -153,6 +214,7 @@ def build_client_middlewares(
     id_generator: Optional[DeterministicIdGenerator] = None,
     cache_events: Optional[List[EventBus]] = None,
     shared_cache_store: Optional[SharedReadCache] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> List[Middleware]:
     """Instantiate the stock middleware chain a :class:`PipelineConfig` asks for.
 
@@ -160,14 +222,19 @@ def build_client_middlewares(
     under one request id) → metrics (counts the operation once) →
     admission control (rejects over-cap writes before they consume any
     downstream work) → tenant-prefix (namespaces keys before the cache and
-    the terminal ever see them) → retry → cache (so a retried attempt can
-    still be answered from cache and a hit short-circuits everything below
-    it) → shard-router (innermost: routing runs per attempt and a cache
-    hit never pays the fan-out).
+    the terminal ever see them) → deadline (stamps the budget every lower
+    layer honours) → store-and-forward (above retry, so a write queues
+    only after retry exhausted the transient path) → retry → cache (so a
+    retried attempt can still be answered from cache and a hit
+    short-circuits everything below it) → shard-router (routing runs per
+    attempt and a cache hit never pays the fan-out) → circuit-breaker
+    (innermost: keyed on the routed shard, sees every real backend call
+    and nothing served from cache).
 
     ``cache_events`` overrides the cache's invalidation subscription with
     one bus per channel shard; ``shared_cache_store`` backs the cache with
-    a cross-pipeline tier instead of a private store (``shared_cache``).
+    a cross-pipeline tier instead of a private store (``shared_cache``);
+    ``engine`` is required by the store-and-forward replay timer.
     """
     middlewares: List[Middleware] = []
     if config.tracing:
@@ -186,13 +253,41 @@ def build_client_middlewares(
         )
     if config.tenant:
         middlewares.append(TenantPrefixMiddleware(config.tenant, metrics=metrics))
+    if config.deadline_s > 0:
+        middlewares.append(
+            DeadlineMiddleware(config.deadline_s, clock=clock, metrics=metrics)
+        )
+    if config.store_and_forward:
+        if engine is None:
+            raise ConfigurationError(
+                "store_and_forward needs the deployment's simulation engine "
+                "(pass engine=... to build_client_middlewares)"
+            )
+        middlewares.append(
+            StoreAndForwardMiddleware(
+                engine,
+                replay_interval_s=config.saf_replay_interval_s,
+                max_replays=config.saf_max_replays,
+                metrics=metrics,
+            )
+        )
     if config.retry_attempts > 1:
         policy = RetryPolicy(
             max_attempts=config.retry_attempts,
             backoff_s=config.retry_backoff_s,
             multiplier=config.retry_multiplier,
+            jitter_fraction=config.retry_jitter,
         )
-        middlewares.append(RetryMiddleware(policy=policy, clock=clock, metrics=metrics))
+        jitter_rng = (
+            DeterministicRandom(RETRY_JITTER_SEED).fork(
+                f"retry:{config.tenant or 'default'}"
+            )
+            if config.retry_jitter > 0
+            else None
+        )
+        middlewares.append(
+            RetryMiddleware(policy=policy, clock=clock, metrics=metrics, rng=jitter_rng)
+        )
     if config.cache:
         cache = ReadCacheMiddleware(
             capacity=config.cache_capacity,
@@ -200,6 +295,7 @@ def build_client_middlewares(
             events=None,
             metrics=metrics,
             store=shared_cache_store if config.shared_cache else None,
+            serve_stale=config.stale_reads,
         )
         if cache_events is not None:
             for bus in cache_events:
@@ -209,6 +305,15 @@ def build_client_middlewares(
         middlewares.append(cache)
     if config.shards > 1:
         middlewares.append(ShardRouterMiddleware(config.shards, metrics=metrics))
+    if config.circuit_breaker:
+        middlewares.append(
+            CircuitBreakerMiddleware(
+                failure_threshold=config.circuit_failure_threshold,
+                cooldown_s=config.circuit_cooldown_s,
+                clock=clock,
+                metrics=metrics,
+            )
+        )
     return middlewares
 
 
@@ -222,6 +327,7 @@ def build_client_pipeline(
     id_generator: Optional[DeterministicIdGenerator] = None,
     cache_events: Optional[List[EventBus]] = None,
     shared_cache_store: Optional[SharedReadCache] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> TransactionPipeline:
     """Build a ready-to-run pipeline around ``terminal``."""
     return TransactionPipeline(
@@ -233,6 +339,7 @@ def build_client_pipeline(
             id_generator=id_generator,
             cache_events=cache_events,
             shared_cache_store=shared_cache_store,
+            engine=engine,
         ),
         terminal,
     )

@@ -43,6 +43,9 @@ class Context:
     result: Any = None
     #: Whether the read-cache middleware answered from cache.
     cache_hit: bool = False
+    #: Whether the result is a degraded-mode answer served from the stale
+    #: archive because the authoritative peer was unreachable.
+    stale: bool = False
     #: Per-stage timing information accumulated along the chain.
     timings: Dict[str, float] = field(default_factory=dict)
     #: Free-form middleware scratch space.

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
+from repro.common.errors import DeadlineExceededError, PartitionError
 from repro.fabric.proposal import Proposal, ProposalResponse, TransactionHandle
 from repro.ledger.transaction import Transaction, TxValidationCode
 from repro.middleware.base import Handler, Middleware
@@ -99,13 +100,25 @@ class CollectEndorsementsStage(FabricStage):
         client = state.client_context
         handle = state.handle
 
-        responses, endorsement_done = fabric._collect_endorsements(
+        responses, endorsement_done, reachable = fabric._collect_endorsements(
             client, state.proposal, state.prep_done, state.shard
         )
         state.responses = responses
         state.endorsement_done = endorsement_done
         handle.endorsed_at = endorsement_done
         handle.timings["endorsement_s"] = endorsement_done - state.start
+
+        if not responses and reachable == 0:
+            # Pure transport failure: every endorsing peer is partitioned
+            # away or crashed, so no proposal was even attempted.  Raise a
+            # retryable network error (never occurs on fault-free runs)
+            # instead of completing the handle — retry/store-and-forward
+            # middlewares upstream own the recovery decision.
+            fabric.metrics.counter("endorsement_unreachable").inc()
+            raise PartitionError(
+                f"no endorsing peers reachable from {client.host_node!r} "
+                f"for tx {handle.tx_id}"
+            )
 
         ok_responses = [r for r in responses if r.is_ok]
         if not ok_responses:
@@ -173,6 +186,18 @@ class SubmitToOrdererStage(FabricStage):
             )
             arrival = state.assembled_at + transfer
         state.handle.timings["to_orderer_s"] = arrival - state.assembled_at
+        deadline_at = ctx.tags.get("deadline_at")
+        if deadline_at is not None and arrival > deadline_at:
+            # The envelope would reach the orderer past its budget: fail
+            # now, at the deadline, instead of burning ordering/commit work
+            # on a transaction the caller has already given up on.
+            state.handle.complete(deadline_at, TxValidationCode.INVALID_OTHER_REASON)
+            fabric.metrics.counter("deadline_exceeded").inc()
+            raise DeadlineExceededError(
+                f"tx {state.handle.tx_id} would reach the orderer at "
+                f"t={arrival:.4f}s, past its deadline t={deadline_at:.4f}s",
+                deadline_at=deadline_at,
+            )
         fabric.engine.schedule_at(
             arrival,
             lambda: fabric._submit_to_orderer(state.transaction, state.handle, state.shard),

@@ -9,7 +9,7 @@ energy model later converts into NIC activity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import NetworkError, NotFoundError, PartitionError
 from repro.common.ids import DeterministicIdGenerator
@@ -47,6 +47,31 @@ class DeliveryReceipt:
 MessageHandler = Callable[[Message], None]
 
 
+@dataclass
+class LinkFault:
+    """Degrades one directed link inside a virtual-time window.
+
+    ``drop_rate`` models a dropped frame recovered by one retransmission
+    (the transfer is charged twice); ``duplicate_rate`` models a spurious
+    retransmission (the sender's byte counter is charged twice but the
+    receiver sees one logical delivery).  Both draw from the fault's own
+    forked RNG stream so runs stay byte-reproducible regardless of what
+    else consumes randomness.
+    """
+
+    source: str
+    destination: str
+    start_s: float
+    end_s: float
+    extra_latency_s: float = 0.0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    rng: Optional[DeterministicRandom] = field(default=None, repr=False)
+
+    def active_at(self, now: float) -> bool:
+        return self.start_s <= now < self.end_s
+
+
 class NetworkFabric:
     """Registry of nodes and links plus synchronous/scheduled delivery."""
 
@@ -67,6 +92,11 @@ class NetworkFabric:
         self._node_profiles: Dict[str, LinkProfile] = {}
         self._ids = DeterministicIdGenerator("msg")
         self._bytes_by_node: Dict[str, int] = {}
+        # Unknown-site partitions must raise, not no-op (chaos-plan typos).
+        self.partitions.bind_known_nodes(lambda: self._handlers.keys())
+        #: Scheduled link degradations; empty on fault-free runs so the
+        #: transfer hot path never pays a per-message fault check.
+        self._link_faults: List[LinkFault] = []
 
     # ------------------------------------------------------------------ nodes
     def register_node(
@@ -115,6 +145,76 @@ class NetworkFabric:
             source, destination, profile, rng=self._rng.fork(f"{source}->{destination}")
         )
 
+    # ----------------------------------------------------------- link faults
+    def inject_link_fault(
+        self,
+        source: str,
+        destination: str,
+        start_s: float,
+        end_s: float,
+        extra_latency_s: float = 0.0,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+    ) -> LinkFault:
+        """Degrade one directed link inside ``[start_s, end_s)`` virtual time."""
+        if source not in self._handlers:
+            raise NotFoundError(f"source node {source!r} is not registered")
+        if destination not in self._handlers:
+            raise NotFoundError(f"destination node {destination!r} is not registered")
+        if end_s < start_s:
+            raise ValueError(f"link fault window [{start_s}, {end_s}) is inverted")
+        fault = LinkFault(
+            source=source,
+            destination=destination,
+            start_s=start_s,
+            end_s=end_s,
+            extra_latency_s=extra_latency_s,
+            drop_rate=drop_rate,
+            duplicate_rate=duplicate_rate,
+            rng=self._rng.fork(f"linkfault:{source}->{destination}:{start_s}"),
+        )
+        self._link_faults.append(fault)
+        return fault
+
+    def clear_link_faults(self) -> None:
+        """Remove every installed link fault."""
+        self._link_faults = []
+
+    def _apply_link_faults(
+        self, source: str, destination: str, size_bytes: int, duration: float
+    ) -> float:
+        """Fold active fault windows into one transfer's duration.
+
+        Only called when at least one fault is installed, so fault-free
+        runs keep byte-identical virtual time (no extra RNG draws).
+        """
+        now = self.engine.now
+        for fault in self._link_faults:
+            if fault.source != source or fault.destination != destination:
+                continue
+            if not fault.active_at(now):
+                continue
+            duration += fault.extra_latency_s
+            rng = fault.rng or self._rng
+            if fault.drop_rate > 0.0 and rng.random() < fault.drop_rate:
+                # Dropped frame, recovered by one retransmission: the bytes
+                # cross the wire twice and the transfer takes twice as long.
+                duration *= 2.0
+                self._bytes_by_node[source] = (
+                    self._bytes_by_node.get(source, 0) + size_bytes
+                )
+                self.metrics.counter("bytes").inc(size_bytes)
+                self.metrics.counter("fault.dropped").inc()
+            if fault.duplicate_rate > 0.0 and rng.random() < fault.duplicate_rate:
+                # Spurious retransmission: extra bytes on the wire, but the
+                # receiver dedupes so latency is unaffected.
+                self._bytes_by_node[source] = (
+                    self._bytes_by_node.get(source, 0) + size_bytes
+                )
+                self.metrics.counter("bytes").inc(size_bytes)
+                self.metrics.counter("fault.duplicated").inc()
+        return duration
+
     # --------------------------------------------------------------- delivery
     def _check_route(self, source: str, destination: str) -> None:
         if source not in self._handlers:
@@ -138,6 +238,8 @@ class NetworkFabric:
         if source == destination:
             return 0.0
         duration = self._link(source, destination).transfer_time(size_bytes)
+        if self._link_faults:
+            duration = self._apply_link_faults(source, destination, size_bytes, duration)
         self._bytes_by_node[source] = self._bytes_by_node.get(source, 0) + size_bytes
         self.metrics.counter("bytes").inc(size_bytes)
         return duration
@@ -170,6 +272,8 @@ class NetworkFabric:
             latency = 0.0
         else:
             latency = self._link(source, destination).transfer_time(size_bytes)
+            if self._link_faults:
+                latency = self._apply_link_faults(source, destination, size_bytes, latency)
         self._bytes_by_node[source] = self._bytes_by_node.get(source, 0) + size_bytes
         self.metrics.counter("messages").inc()
         self.metrics.counter("bytes").inc(size_bytes)

@@ -8,18 +8,36 @@ the node set into groups, check reachability and heal partitions.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.common.errors import NotFoundError
 
 
 class PartitionManager:
     """Tracks which partition group each node belongs to.
 
     With no partitions installed every node can reach every other node.
+
+    A standalone manager accepts any node name.  Once bound to a node
+    universe via :meth:`bind_known_nodes` (the fabric does this on
+    construction), partitioning an unknown site name raises
+    :class:`~repro.common.errors.NotFoundError` instead of silently
+    installing a no-op group — a chaos plan with a typo'd site must fail
+    loudly, not pass vacuously.
     """
 
     def __init__(self) -> None:
         self._group_of: Dict[str, int] = {}
         self._partitioned = False
+        self._known_nodes: Optional[Callable[[], Iterable[str]]] = None
+
+    def bind_known_nodes(self, provider: Callable[[], Iterable[str]]) -> None:
+        """Restrict future :meth:`partition` calls to names ``provider`` yields.
+
+        ``provider`` is called lazily at partition time so nodes registered
+        after binding are still accepted.
+        """
+        self._known_nodes = provider
 
     @property
     def is_partitioned(self) -> bool:
@@ -29,12 +47,19 @@ class PartitionManager:
     def partition(self, groups: Sequence[Iterable[str]]) -> None:
         """Split nodes into disjoint groups; nodes absent from every group
         form an implicit extra group and can only talk to each other."""
-        self._group_of = {}
+        known = set(self._known_nodes()) if self._known_nodes is not None else None
+        staged: Dict[str, int] = {}
         for index, group in enumerate(groups):
             for node in group:
-                if node in self._group_of:
+                if node in staged:
                     raise ValueError(f"node {node!r} appears in more than one group")
-                self._group_of[node] = index
+                if known is not None and node not in known:
+                    raise NotFoundError(
+                        f"cannot partition unknown node {node!r}; "
+                        f"known nodes: {sorted(known)}"
+                    )
+                staged[node] = index
+        self._group_of = staged
         self._partitioned = True
 
     def heal(self) -> None:

@@ -37,9 +37,16 @@ class RunOutcome(int):
         ``max_events`` was reached with live events still queued.
     ``"horizon"``
         The ``until`` horizon was reached with later events still queued.
+    ``"deadlock"``
+        The queue emptied while the caller still had in-flight work that
+        can never complete without further events — produced by drain
+        helpers layered on the engine (``FabricNetwork.flush_and_drain``)
+        when e.g. a partition never heals, so chaos scenarios fail loudly
+        instead of hanging tests.
     """
 
-    #: Why the run loop returned; one of ``"idle"``, ``"cap"``, ``"horizon"``.
+    #: Why the run loop returned; one of ``"idle"``, ``"cap"``,
+    #: ``"horizon"``, or ``"deadlock"``.
     stop_reason: str
 
     def __new__(cls, executed: int, stop_reason: str) -> "RunOutcome":

@@ -1,0 +1,98 @@
+"""EventBus re-entrancy: subscriptions taken out mid-publish.
+
+Regression tests for the subscriber-during-publish bug: a handler that
+subscribes another handler while a publish is being delivered must not
+cause the new subscriber to see the *in-flight* event (historically it
+could, because delivery iterated the live subscriber list).
+"""
+
+from repro.common.events import EventBus
+
+
+class TestSubscribeDuringPublish:
+    def test_new_subscriber_skips_the_in_flight_event(self):
+        bus = EventBus()
+        late_calls = []
+
+        def subscribing_handler(topic, payload):
+            bus.subscribe("topic", lambda t, p: late_calls.append(p))
+
+        bus.subscribe("topic", subscribing_handler)
+        delivered = bus.publish("topic", "first")
+        assert delivered == 1
+        assert late_calls == []
+
+    def test_new_subscriber_sees_the_next_publish(self):
+        bus = EventBus()
+        late_calls = []
+        bus.subscribe(
+            "topic",
+            lambda t, p: bus.subscribe("topic", lambda t2, p2: late_calls.append(p2)),
+        )
+        bus.publish("topic", "first")
+        bus.publish("topic", "second")
+        # One subscription was added during "first" (sees only "second"),
+        # a second one during "second" (sees nothing yet).
+        assert late_calls == ["second"]
+
+    def test_mid_publish_subscription_to_another_topic_is_deferred_too(self):
+        bus = EventBus()
+        other_calls = []
+
+        def subscribing_handler(topic, payload):
+            bus.subscribe("other", lambda t, p: other_calls.append(p))
+            bus.publish("other", "nested-after-join")
+
+        bus.subscribe("topic", subscribing_handler)
+        bus.publish("topic", None)
+        # The nested publish post-dates the subscribe call, so the new
+        # subscriber legitimately sees it — but only that one.
+        assert other_calls == ["nested-after-join"]
+        bus.publish("other", "later")
+        assert other_calls == ["nested-after-join", "later"]
+
+    def test_subscription_taken_before_a_nested_publish_is_not_delivered(self):
+        bus = EventBus()
+        inner_calls = []
+        order = []
+
+        def outer(topic, payload):
+            order.append("outer")
+            # Subscribe to the *same* topic, then trigger a nested publish
+            # of it from within the outer delivery.
+            bus.subscribe("topic", lambda t, p: inner_calls.append(p))
+            if payload == "trigger":
+                bus.publish("topic", "nested")
+
+        bus.subscribe("topic", outer)
+        bus.publish("topic", "trigger")
+        # The nested publish post-dates the inner subscription, so exactly
+        # the nested payload is delivered to it — never "trigger".
+        assert inner_calls == ["nested"]
+        assert order == ["outer", "outer"]
+
+    def test_delivery_count_excludes_the_deferred_join(self):
+        bus = EventBus()
+        bus.subscribe(
+            "topic", lambda t, p: bus.subscribe("topic", lambda t2, p2: None)
+        )
+        # The joiner is registered but not delivered to during the first
+        # publish; from the second publish on it counts.
+        assert bus.publish("topic", None) == 1
+        assert bus.publish("topic", None) == 2
+
+    def test_cancel_during_publish_still_works_alongside_joins(self):
+        bus = EventBus()
+        seen = []
+        subscription = bus.subscribe("topic", lambda t, p: seen.append(("a", p)))
+
+        def cancelling_then_subscribing(topic, payload):
+            subscription.cancel()
+            bus.subscribe("topic", lambda t, p: seen.append(("late", p)))
+
+        bus.subscribe("topic", cancelling_then_subscribing)
+        bus.publish("topic", 1)
+        bus.publish("topic", 2)
+        # "a" saw only the first event (cancelled mid-first-publish after
+        # delivery); "late" saw only the second (joined mid-first-publish).
+        assert seen == [("a", 1), ("late", 2)]
