@@ -1,0 +1,23 @@
+"""Static-analysis pass for the reproduction's determinism and
+architecture invariants.
+
+Pure stdlib (``ast``) — this package imports nothing else from
+``repro`` so it can analyze a broken tree without importing it.  Run as
+``python -m repro.analysis``; see ``docs/determinism.md`` for the rule
+catalogue and suppression policy.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import CHECKERS, main, run_analysis
+from repro.analysis.core import RULES, AnalysisContext, Finding, SourceFile
+
+__all__ = [
+    "AnalysisContext",
+    "Baseline",
+    "CHECKERS",
+    "Finding",
+    "RULES",
+    "SourceFile",
+    "main",
+    "run_analysis",
+]

@@ -1,0 +1,81 @@
+"""Suppression baseline: grandfather known findings, gate new ones.
+
+``analysis-baseline.json`` (committed at the repo root) records the
+fingerprints of accepted findings.  The gate (``--check``) fails only on
+findings *not* in the baseline, so the analyzer can be adopted — and its
+rules tightened — without a flag-day cleanup.  The file is regenerated
+with ``--update-baseline`` and reviewed like any other diff; the goal
+state, enforced by the acceptance tests, is an *empty* suppression list
+for the determinism rules: real fixes and inline pragmas, not baseline
+debt.
+
+Fingerprints are ``(rule, path, symbol)`` with a count, not line
+numbers: edits elsewhere in a file must not churn the baseline, but a
+*second* violation of the same rule in the same function is new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+Fingerprint = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """Accepted-finding fingerprints with per-fingerprint counts."""
+
+    suppressions: Dict[Fingerprint, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(suppressions=dict(Counter(f.fingerprint for f in findings)))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        suppressions: Dict[Fingerprint, int] = {}
+        for entry in payload.get("suppressions", []):
+            key = (entry["rule"], entry["path"], entry["symbol"])
+            suppressions[key] = int(entry.get("count", 1))
+        return cls(suppressions=suppressions)
+
+    def dump(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": rel, "symbol": symbol, "count": count}
+            for (rule, rel, symbol), count in sorted(self.suppressions.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "suppressions": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def new_findings(self, findings: List[Finding]) -> List[Finding]:
+        """Findings beyond the baselined count per fingerprint, in
+        deterministic (path, line, rule) order."""
+        budget = dict(self.suppressions)
+        fresh: List[Finding] = []
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+            remaining = budget.get(finding.fingerprint, 0)
+            if remaining > 0:
+                budget[finding.fingerprint] = remaining - 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+    def stale_entries(self, findings: List[Finding]) -> List[Fingerprint]:
+        """Baselined fingerprints that no longer fire (candidates for
+        removal via ``--update-baseline``)."""
+        live = Counter(f.fingerprint for f in findings)
+        return sorted(
+            key for key, count in self.suppressions.items() if live[key] < count
+        )

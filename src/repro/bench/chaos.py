@@ -1,6 +1,6 @@
 """``bench chaos`` — deterministic fault-injection scenarios with invariants.
 
-Four scenarios exercise the failure-handling stack end to end, each built
+Five scenarios exercise the failure-handling stack end to end, each built
 from a fresh deployment, a declarative :class:`~repro.faults.FaultPlan`
 and an event-driven workload on the virtual clock:
 
@@ -28,6 +28,13 @@ and an event-driven workload on the virtual clock:
     the unaffected tenant's commit latency stays bounded through the
     churn and the replay burst, and the churned tenant's writes all land
     exactly once after the device returns.
+``link_degrade``
+    The client→orderer link gets slow and lossy for a window (extra
+    latency, modelled retransmissions, spurious duplicates) without being
+    severed.  Invariants: every write still commits exactly once
+    everywhere, in-window commits are strictly slower than pre-window
+    ones, post-window commits recover, and the fabric's ``fault.dropped``
+    / ``fault.duplicated`` counters prove the wire-level degradation.
 
 Every scenario reduces to a SHA-256 **anchor** over its virtual-time
 observations (commit log, read results, fault log, stop reason).  The
@@ -62,6 +69,7 @@ from repro.faults import (
     ChurnFault,
     FaultInjector,
     FaultPlan,
+    LinkDegradeFault,
     OrdererStallFault,
     PartitionFault,
 )
@@ -614,11 +622,111 @@ def _scenario_churn_fair_share(seed: int) -> ChaosScenarioResult:
     )
 
 
+# ------------------------------------------------- scenario: link degrade
+def _scenario_link_degrade(seed: int) -> ChaosScenarioResult:
+    """Degrade (not sever) the client→orderer link for a window.
+
+    Every submission envelope sent during the window pays the configured
+    extra latency, is "dropped" once (modelled as a retransmission: the
+    transfer takes twice as long and the bytes go on the wire twice) and
+    spuriously duplicated (bytes only).  Invariants: every write still
+    commits VALID exactly once on every peer, commits during the window
+    are strictly slower than before it, commits after the window recover,
+    and the fabric's fault counters prove the degradation actually
+    happened on the wire.
+    """
+    deployment = build_deployment(_edge_spec("chaos-linkdegrade", seed))
+    store = deployment.client.as_store()
+    engine = deployment.engine
+    checksum = checksum_of(b"chaos-linkdegrade")
+    handles: List[Tuple[str, TransactionHandle]] = []
+    submit = _submitter(store, handles)
+
+    plan = FaultPlan(
+        seed=seed,
+        faults=(
+            LinkDegradeFault(
+                2.0,
+                4.0,
+                source="client",
+                destination="orderer",
+                extra_latency_s=0.5,
+                drop_rate=1.0,
+                duplicate_rate=1.0,
+            ),
+        ),
+    )
+    injector = FaultInjector(plan, deployment.fabric).install()
+
+    # Two writes before, during and after the window; same-length keys so
+    # the per-message payload sizes (and device costs) line up exactly.
+    phases = {"pre": (0.3, 0.8), "mid": (2.2, 2.7), "post": (6.0, 6.5)}
+    tags = {"pre": "a", "mid": "b", "post": "c"}
+    for phase, ats in phases.items():
+        for index, at in enumerate(ats):
+            engine.schedule_at(
+                at, lambda p=tags[phase], i=index: submit(f"ld-{p}{i}", checksum)
+            )
+
+    outcome = deployment.fabric.flush_and_drain()
+
+    _require(
+        outcome.stop_reason == "idle",
+        "link_degrade",
+        f"run did not quiesce: stop reason {outcome.stop_reason!r}",
+    )
+    _assert_committed_everywhere("link_degrade", deployment, handles)
+
+    latency: Dict[str, List[float]] = {phase: [] for phase in phases}
+    for key, handle in handles:
+        phase = {"a": "pre", "b": "mid", "c": "post"}[key[len("ld-")]]
+        latency[phase].append(handle.committed_at - handle.submitted_at)
+    _require(
+        max(latency["pre"]) < min(latency["mid"]),
+        "link_degrade",
+        "degradation invisible: in-window commit latency "
+        f"{latency['mid']} not above pre-window {latency['pre']}",
+    )
+    _require(
+        max(latency["post"]) < min(latency["mid"]),
+        "link_degrade",
+        "degradation is unbounded: post-window commit latency "
+        f"{latency['post']} not below in-window {latency['mid']}",
+    )
+
+    metrics = deployment.fabric.network.metrics
+    dropped = metrics.counter("fault.dropped").value
+    duplicated = metrics.counter("fault.duplicated").value
+    _require(
+        dropped >= len(phases["mid"]) and duplicated >= len(phases["mid"]),
+        "link_degrade",
+        f"fault counters did not move: dropped={dropped} "
+        f"duplicated={duplicated}",
+    )
+
+    lines = [_handle_line(key, handle) for key, handle in handles]
+    lines.append(f"counters dropped={dropped} duplicated={duplicated}")
+    lines += [f"fault {entry!r}" for entry in injector.log]
+    lines.append(f"stop {outcome.stop_reason}")
+    return ChaosScenarioResult(
+        name="link_degrade",
+        anchor=_digest(lines),
+        wall_s=0.0,
+        invariants={
+            "writes": len(handles),
+            "degraded_window_s": 2.0,
+            "dropped": int(dropped),
+            "duplicated": int(duplicated),
+        },
+    )
+
+
 SCENARIOS: Dict[str, Callable[[int], ChaosScenarioResult]] = {
     "partition_heal": _scenario_partition_heal,
     "byzantine_tamper": _scenario_byzantine_tamper,
     "orderer_stall": _scenario_orderer_stall,
     "churn_fair_share": _scenario_churn_fair_share,
+    "link_degrade": _scenario_link_degrade,
 }
 
 

@@ -14,7 +14,7 @@ same deployment produces byte-identical runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple, Union
+from typing import Tuple, Type, Union
 
 from repro.common.errors import ConfigurationError
 
@@ -194,7 +194,7 @@ class FaultPlan:
             fault.validate()
         return self
 
-    def of_type(self, *types: type) -> Tuple[Fault, ...]:
+    def of_type(self, *types: Type["Fault"]) -> Tuple[Fault, ...]:
         return tuple(fault for fault in self.faults if isinstance(fault, types))
 
     @property

@@ -48,7 +48,7 @@ class CacheEntry:
     broad: bool
 
 
-class SharedReadCache:
+class SharedReadCache:  # repro: thread-shared
     """Thread-safe LRU store usable as a shared cache tier.
 
     One instance can back many :class:`ReadCacheMiddleware` pipelines —

@@ -22,7 +22,8 @@ from __future__ import annotations
 import json
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from types import TracebackType
+from typing import Any, Callable, Dict, List, Optional, Type
 
 from repro.common.errors import ValidationError
 from repro.common.events import EventBus
@@ -81,7 +82,12 @@ class ContinuousQuery:
     def __enter__(self) -> "ContinuousQuery":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.cancel()
 
 

@@ -24,7 +24,7 @@ instead of inferring it from timings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.query.indexes import FieldValueIndex
 from repro.query.selectors import split_selector
@@ -154,14 +154,14 @@ def intersect_keys(
     index: FieldValueIndex,
     plan: QueryPlan,
     selector: Dict[str, Any],
-) -> list:
+) -> List[str]:
     """Sorted candidate keys for an ``index-intersection`` plan.
 
     Intersects posting lists smallest-first (the plan ordered them), then
     applies the prefix scope and bookmark cut, returning keys in the same
     order the scan paths visit them.
     """
-    survivors: Optional[set] = None
+    survivors: Optional[Set[str]] = None
     for name in plan.indexed_fields:
         posting = index.lookup(name, selector[name])
         if not posting:

@@ -39,18 +39,29 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError, SimulationError
-from repro.workloads.fleet import (
-    FleetDeployment,
-    FleetSpec,
-    build_fleet,
-    commit_anchor,
-    commit_counts,
-    commit_log_lines,
-    submit_fleet,
-)
+
+if TYPE_CHECKING:
+    from repro.workloads.fleet import FleetDeployment, FleetSpec
+
+# The fleet workload sits *above* the simulation layer (it builds whole
+# deployments out of core/fabric pieces), so this module — generic
+# barrier-window machinery that happens to ship a fleet front-end — only
+# imports it inside the functions that need it.  Keeping the edge out of
+# module scope is what lets `repro.simulation` stay below `workloads` in
+# the layering DAG (rule A201) and avoids the package import cycle.
+
+
+def _wall_clock() -> float:
+    """Host-time read for worker utilization/stall accounting only.
+
+    Never feeds virtual time, commit logs, or anchors — the determinism
+    guarantee is about *simulated* time; how long the host took is
+    exactly the measurement the stats exist to report.
+    """
+    return time.perf_counter()  # repro: allow-wallclock
 
 #: Default barrier window, in virtual seconds.  Small enough that commit
 #: batches stay timely, large enough that barrier crossings are a rounding
@@ -105,6 +116,8 @@ class FleetRunResult:
 
     @property
     def anchor(self) -> str:
+        from repro.workloads.fleet import commit_anchor
+
         return commit_anchor(self.lines_by_site)
 
     @property
@@ -133,16 +146,23 @@ def window_count(horizon_s: float, window_s: float) -> int:
 
 def run_fleet_sequential(spec: FleetSpec) -> FleetRunResult:
     """The baseline: every site on one engine, per-block commit delivery."""
-    start = time.perf_counter()
+    from repro.workloads.fleet import (
+        build_fleet,
+        commit_counts,
+        commit_log_lines,
+        submit_fleet,
+    )
+
+    start = _wall_clock()
     deployment = build_fleet(spec)
     submitted = submit_fleet(deployment)
     stats = ShardRunStats(worker=0, sites=list(deployment.sites))
-    begin = time.perf_counter()
+    begin = _wall_clock()
     deployment.drain()
-    stats.busy_wall_s = time.perf_counter() - begin
+    stats.busy_wall_s = _wall_clock() - begin
     stats.windows = 1
     stats.events = deployment.engine.processed_events
-    wall = time.perf_counter() - start
+    wall = _wall_clock() - start
     return FleetRunResult(
         spec=spec,
         mode="sequential",
@@ -163,6 +183,8 @@ def _assign_sites(spec: FleetSpec, workers: int) -> List[List[int]]:
 
 
 def _prepare_worker_deployment(spec: FleetSpec, sites: Sequence[int]) -> Tuple[FleetDeployment, int]:
+    from repro.workloads.fleet import build_fleet, submit_fleet
+
     deployment = build_fleet(spec, sites=sites, batch_commit_delivery=True)
     submitted = submit_fleet(deployment)
     return deployment, submitted
@@ -184,6 +206,8 @@ def _site_worker(spec: FleetSpec, sites: List[int], worker: int,
     Any exception is reported as ``("error", traceback)`` so the
     coordinator can fail loudly instead of deadlocking on a dead pipe.
     """
+    from repro.workloads.fleet import commit_counts, commit_log_lines
+
     try:
         deployment, submitted = _prepare_worker_deployment(spec, sites)
         stats = ShardRunStats(worker=worker, sites=list(sites))
@@ -191,23 +215,23 @@ def _site_worker(spec: FleetSpec, sites: List[int], worker: int,
 
         windows = window_count(horizon_s, window_s)
         for window_index in range(windows):
-            wait_begin = time.perf_counter()
+            wait_begin = _wall_clock()
             command = conn.recv()
-            stats.barrier_stall_s += time.perf_counter() - wait_begin
+            stats.barrier_stall_s += _wall_clock() - wait_begin
             if command != "advance":
                 raise SimulationError(f"unexpected barrier command {command!r}")
             boundary = (window_index + 1) * window_s
-            begin = time.perf_counter()
+            begin = _wall_clock()
             outcome = deployment.engine.run(until=boundary)
             deployment.fabric.flush_commit_events()
-            stats.busy_wall_s += time.perf_counter() - begin
+            stats.busy_wall_s += _wall_clock() - begin
             stats.windows += 1
             stats.events += int(outcome)
             conn.send(("window", window_index, stats.events))
-        begin = time.perf_counter()
+        begin = _wall_clock()
         deployment.drain()
         deployment.fabric.flush_commit_events()
-        stats.busy_wall_s += time.perf_counter() - begin
+        stats.busy_wall_s += _wall_clock() - begin
         payload = {
             "lines": {s: commit_log_lines(deployment, s) for s in sites},
             "counts": {s: commit_counts(deployment, s) for s in sites},
@@ -246,7 +270,7 @@ def run_fleet_parallel(
     horizon = spec.arrival_plan().horizon_s()
     assignments = _assign_sites(spec, workers)
 
-    start = time.perf_counter()
+    start = _wall_clock()
     if len(assignments) == 1 or workers == 1:
         return _run_parallel_inline(spec, lookahead, horizon, start)
 
@@ -301,7 +325,7 @@ def run_fleet_parallel(
         lines_by_site.update(payload["lines"])
         counts_by_site.update(payload["counts"])
         shard_stats.append(payload["stats"])
-    wall = time.perf_counter() - start
+    wall = _wall_clock() - start
     return FleetRunResult(
         spec=spec,
         mode="parallel",
@@ -334,6 +358,8 @@ def _run_parallel_inline(
     the decomposition and delivery-path gains apply; only the concurrent
     execution of windows is lost.
     """
+    from repro.workloads.fleet import commit_counts, commit_log_lines
+
     deployments: List[FleetDeployment] = []
     stats_list: List[ShardRunStats] = []
     submitted = 0
@@ -346,23 +372,23 @@ def _run_parallel_inline(
     for window_index in range(windows):
         boundary = (window_index + 1) * lookahead
         for deployment, stats in zip(deployments, stats_list):
-            begin = time.perf_counter()
+            begin = _wall_clock()
             outcome = deployment.engine.run(until=boundary)
             deployment.fabric.flush_commit_events()
-            stats.busy_wall_s += time.perf_counter() - begin
+            stats.busy_wall_s += _wall_clock() - begin
             stats.windows += 1
             stats.events += int(outcome)
     lines_by_site: Dict[int, List[str]] = {}
     counts_by_site: Dict[int, Dict[str, int]] = {}
     for deployment, stats in zip(deployments, stats_list):
-        begin = time.perf_counter()
+        begin = _wall_clock()
         deployment.drain()
         deployment.fabric.flush_commit_events()
-        stats.busy_wall_s += time.perf_counter() - begin
+        stats.busy_wall_s += _wall_clock() - begin
         site = deployment.sites[0]
         lines_by_site[site] = commit_log_lines(deployment, site)
         counts_by_site[site] = commit_counts(deployment, site)
-    wall = time.perf_counter() - start
+    wall = _wall_clock() - start
     return FleetRunResult(
         spec=spec,
         mode="parallel-inline",

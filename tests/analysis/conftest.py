@@ -1,0 +1,37 @@
+"""Fixtures for the static-analyzer test suite.
+
+``badrepo`` is a miniature repo tree (``src/repro/...`` plus
+``docs/architecture.md``) where every rule family has known-bad snippets
+at known lines; the tests assert exact ``(rule, line)`` pairs so a
+checker that drifts — firing on the wrong node, or going silent — fails
+loudly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.analysis.core import AnalysisContext, Finding
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+BADREPO = FIXTURES / "badrepo"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def bad_context() -> AnalysisContext:
+    return AnalysisContext.load(BADREPO)
+
+
+def pairs(
+    findings: List[Finding], path_suffix: Optional[str] = None
+) -> List[Tuple[str, int]]:
+    """Sorted ``(rule, line)`` pairs, optionally narrowed to one file."""
+    return sorted(
+        (f.rule, f.line)
+        for f in findings
+        if path_suffix is None or f.path.endswith(path_suffix)
+    )

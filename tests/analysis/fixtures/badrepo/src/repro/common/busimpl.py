@@ -1,0 +1,20 @@
+"""T402 fixture: EventBus handler-list discipline."""
+
+
+class EventBus:
+    def __init__(self):
+        self._handlers = {}
+        self._dirty = set()
+
+    def subscribe(self, topic, fn):
+        self._handlers.setdefault(topic, []).append(fn)
+
+    def unsubscribe(self, topic, fn):
+        self._handlers[topic].remove(fn)  # line 13: T402
+
+    def publish(self, topic, payload):
+        for fn in self._handlers.get(topic, []):
+            fn(payload)
+
+    def _compact_topic(self, topic):
+        self._handlers[topic] = [f for f in self._handlers[topic] if f]

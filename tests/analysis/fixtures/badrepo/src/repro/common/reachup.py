@@ -1,0 +1,12 @@
+"""A201 fixture: `common` reaching up into `middleware`."""
+
+from typing import TYPE_CHECKING
+
+from repro.middleware.pipeline import Pipeline  # line 5: A201
+
+if TYPE_CHECKING:
+    from repro.middleware.config import PipelineConfig  # typing-only: no edge
+
+
+def build(config: "PipelineConfig") -> "Pipeline":
+    return Pipeline(config)

@@ -1,0 +1,33 @@
+"""T401 fixture: opt-in thread-shared classes."""
+
+import threading
+
+
+class Unlocked:  # repro: thread-shared    (line 6: T401 — no lock at all)
+    def __init__(self):
+        self.items = []
+
+    def add_item(self, item):
+        self.items.append(item)
+
+
+class PartiallyLocked:  # repro: thread-shared
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def evict(self, key):
+        self._entries.pop(key, None)  # line 24: T401 — outside the lock
+
+
+class SingleThreaded:
+    # No pragma: the checker leaves ordinary classes alone.
+    def __init__(self):
+        self.items = []
+
+    def add_item(self, item):
+        self.items.append(item)

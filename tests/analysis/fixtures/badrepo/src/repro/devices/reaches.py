@@ -1,0 +1,9 @@
+"""T402 fixture: reaching into a bus's private handler list."""
+
+
+def detach_all(bus, topic):
+    bus._handlers.pop(topic)  # line 5: T402 (external reach-in)
+
+
+def harmless(registry, topic):
+    registry._handlers.pop(topic)  # not bus-named: left alone

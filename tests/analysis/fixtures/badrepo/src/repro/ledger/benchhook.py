@@ -1,0 +1,15 @@
+"""A203 fixture: simulation code importing the wall-clock bench harness."""
+
+import repro.bench.runner  # line 3: A203 (bench is a leaf)
+
+
+def measure():
+    return repro.bench.runner
+
+
+def deferred_ok():
+    # Function-level imports are the sanctioned cycle-breaker and are
+    # invisible to the layering checker.
+    from repro.middleware.pipeline import Pipeline
+
+    return Pipeline

@@ -1,0 +1,7 @@
+"""A202 fixture, half one: top-level import of cyc_b."""
+
+from repro.network.cyc_b import beta
+
+
+def alpha():
+    return beta

@@ -1,0 +1,7 @@
+"""A202 fixture, half two: top-level import back into cyc_a."""
+
+import repro.network.cyc_a
+
+
+def beta():
+    return repro.network.cyc_a

@@ -1,0 +1,36 @@
+"""D103 fixture: hash-order leaks into order-sensitive output."""
+
+
+def set_iteration(items):
+    names = {item.name for item in items}
+    for name in names:  # line 6: D103 (loop over a set)
+        print(name)
+    return [n for n in names]  # line 8: D103 (comprehension over a set)
+
+
+def materialise(items):
+    pending = set(items)
+    ordered = list(pending)  # line 13: D103 (list() over a set)
+    joined = ",".join(pending)  # line 14: D103 (join over a set)
+    return ordered, joined
+
+
+def address_order(rows):
+    return sorted(rows, key=id)  # line 19: D103 (orders by address)
+
+
+def salted(value):
+    return hash(value)  # line 23: D103 (PYTHONHASHSEED-salted)
+
+
+class Wrapper:
+    def __init__(self, inner):
+        self.inner = inner
+
+    def __hash__(self):
+        return hash(self.inner)  # fine: delegation inside __hash__
+
+
+def sorted_is_fine(items):
+    names = {item.name for item in items}
+    return sorted(names)

@@ -1,0 +1,18 @@
+"""D102 fixture: process-global randomness vs the seeded construction."""
+
+import os
+import random
+import uuid
+
+
+def unseeded_draws():
+    jitter = random.random()  # line 9: D102
+    rng = random.Random()  # line 10: D102 (zero-arg: OS entropy)
+    token = uuid.uuid4()  # line 11: D102
+    raw = os.urandom(8)  # line 12: D102
+    return jitter, rng, token, raw
+
+
+def seeded_ok(seed):
+    # The sanctioned construction: a seeded stream is deterministic.
+    return random.Random(seed).random()

@@ -1,0 +1,24 @@
+"""D101/D104 fixture: wall-clock and host-environment reads."""
+
+import os
+import platform
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()  # line 10: D101
+    mono = time.monotonic()  # line 11: D101
+    now = datetime.now()  # line 12: D101
+    return started, mono, now
+
+
+def allowed_stamp():
+    return time.perf_counter()  # repro: allow-wallclock
+
+
+def host_facts():
+    home = os.environ["HOME"]  # line 21: D104
+    system = platform.system()  # line 22: D104
+    cores = os.cpu_count()  # line 23: D104
+    return home, system, cores

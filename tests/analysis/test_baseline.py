@@ -1,0 +1,70 @@
+"""Baseline fingerprinting: load/dump round-trip, budgets, staleness."""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import Finding
+
+
+def _finding(rule="D101", path="src/repro/x.py", line=10, symbol="f"):
+    return Finding(rule=rule, path=path, line=line, message="m", symbol=symbol)
+
+
+def test_round_trip(tmp_path):
+    baseline = Baseline.from_findings([_finding(), _finding(line=20)])
+    target = tmp_path / "analysis-baseline.json"
+    baseline.dump(target)
+    loaded = Baseline.load(target)
+    # Two findings with the same (rule, path, symbol) collapse to count 2.
+    assert loaded.suppressions == {("D101", "src/repro/x.py", "f"): 2}
+
+
+def test_missing_file_loads_empty(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").suppressions == {}
+
+
+def test_new_findings_survive_line_drift():
+    baseline = Baseline.from_findings([_finding(line=10)])
+    # Same rule/path/symbol at a different line: still suppressed.
+    assert baseline.new_findings([_finding(line=99)]) == []
+
+
+def test_second_violation_in_same_symbol_is_new():
+    baseline = Baseline.from_findings([_finding(line=10)])
+    fresh = baseline.new_findings([_finding(line=10), _finding(line=11)])
+    assert [f.line for f in fresh] == [11]
+
+
+def test_different_symbol_is_new():
+    baseline = Baseline.from_findings([_finding(symbol="f")])
+    fresh = baseline.new_findings([_finding(symbol="g")])
+    assert [f.symbol for f in fresh] == ["g"]
+
+
+def test_new_findings_deterministic_order():
+    baseline = Baseline()
+    fresh = baseline.new_findings(
+        [
+            _finding(path="src/repro/b.py", line=5),
+            _finding(path="src/repro/a.py", line=9),
+            _finding(path="src/repro/a.py", line=2),
+        ]
+    )
+    assert [(f.path, f.line) for f in fresh] == [
+        ("src/repro/a.py", 2),
+        ("src/repro/a.py", 9),
+        ("src/repro/b.py", 5),
+    ]
+
+
+def test_stale_entries():
+    baseline = Baseline.from_findings([_finding(), _finding(symbol="gone")])
+    stale = baseline.stale_entries([_finding()])
+    assert stale == [("D101", "src/repro/x.py", "gone")]
+
+
+def test_partial_count_is_stale():
+    baseline = Baseline.from_findings([_finding(line=10), _finding(line=11)])
+    # Only one of the two baselined occurrences still fires.
+    stale = baseline.stale_entries([_finding(line=10)])
+    assert stale == [("D101", "src/repro/x.py", "f")]

@@ -1,0 +1,92 @@
+"""Rules A201–A203 against the fixture corpus, plus DAG sanity."""
+
+from __future__ import annotations
+
+from repro.analysis.layering import (
+    ALLOWED_EDGES,
+    RESTRICTED_IMPORTERS,
+    check_layering,
+)
+
+from .conftest import pairs
+
+
+def test_undeclared_edge_fires_a201(bad_context):
+    findings = check_layering(bad_context)
+    assert pairs(findings, "common/reachup.py") == [("A201", 5)]
+    finding = next(f for f in findings if f.path.endswith("common/reachup.py"))
+    assert "`common` -> `middleware`" in finding.message.replace("→", "->")
+
+
+def test_type_checking_imports_carry_no_edge(bad_context):
+    # reachup.py also imports middleware inside `if TYPE_CHECKING:` (line 8);
+    # only the runtime import on line 5 may fire.
+    findings = [
+        f
+        for f in check_layering(bad_context)
+        if f.path.endswith("common/reachup.py")
+    ]
+    assert [f.line for f in findings] == [5]
+
+
+def test_restricted_package_fires_a203_not_a201(bad_context):
+    findings = check_layering(bad_context)
+    assert pairs(findings, "ledger/benchhook.py") == [("A203", 3)]
+    finding = next(f for f in findings if f.path.endswith("ledger/benchhook.py"))
+    assert "`bench`" in finding.message
+
+
+def test_function_level_imports_are_invisible(bad_context):
+    # benchhook.deferred_ok imports middleware inside the function body —
+    # the sanctioned cycle-breaker produces no finding beyond line 3.
+    findings = [
+        f
+        for f in check_layering(bad_context)
+        if f.path.endswith("ledger/benchhook.py")
+    ]
+    assert [f.line for f in findings] == [3]
+
+
+def test_module_cycle_fires_a202_once(bad_context):
+    findings = [
+        f for f in check_layering(bad_context) if f.rule == "A202"
+    ]
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.path == "src/repro/network/cyc_b.py"
+    assert "repro.network.cyc_a" in finding.message
+    assert "repro.network.cyc_b" in finding.message
+
+
+def test_declared_package_dag_is_acyclic():
+    """The declared architecture itself must be a DAG (modulo the one
+    deliberate middleware<->fabric band)."""
+    band = {frozenset({"middleware", "fabric"})}
+    color = {}
+
+    def visit(pkg, stack):
+        color[pkg] = 1
+        for dep in sorted(ALLOWED_EDGES.get(pkg, ())):
+            if frozenset({pkg, dep}) in band:
+                continue
+            state = color.get(dep, 0)
+            if state == 1:
+                raise AssertionError(
+                    "cycle in ALLOWED_EDGES: " + " -> ".join(stack + [dep])
+                )
+            if state == 0:
+                visit(dep, stack + [dep])
+        color[pkg] = 2
+
+    for pkg in sorted(ALLOWED_EDGES):
+        if color.get(pkg, 0) == 0:
+            visit(pkg, [pkg])
+
+
+def test_restricted_importers_are_subsets_of_declared_edges():
+    for target, importers in RESTRICTED_IMPORTERS.items():
+        for importer in importers:
+            assert target in ALLOWED_EDGES.get(importer, frozenset()), (
+                f"{importer} is allowed to import {target} by "
+                "RESTRICTED_IMPORTERS but lacks the DAG edge"
+            )

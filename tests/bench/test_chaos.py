@@ -22,12 +22,18 @@ def report():
 
 
 class TestScenarios:
-    def test_all_four_scenarios_run_and_anchor(self, report):
+    def test_all_registered_scenarios_run_and_anchor(self, report):
         assert [r.name for r in report.scenarios] == list(SCENARIOS)
-        assert len(report.scenarios) == 4
+        assert len(report.scenarios) == 5
         for result in report.scenarios:
             assert len(result.anchor) == 64
             assert result.invariants
+
+    def test_link_degrade_counts_drops_and_duplicates(self, report):
+        invariants = report.scenario("link_degrade").invariants
+        assert invariants["dropped"] >= 2
+        assert invariants["duplicated"] >= 2
+        assert invariants["degraded_window_s"] == pytest.approx(2.0)
 
     def test_scenarios_are_deterministic_across_calls(self, report):
         again = run_chaos(smoke=True)
